@@ -1,0 +1,239 @@
+//! Single-source (partial) BFS as a BCONGEST algorithm.
+//!
+//! This is the "standard BFS algorithm" the paper assumes in Theorem 1.4: each node
+//! broadcasts exactly once, on first receiving a BFS exploration message. A depth limit
+//! makes it a *partial* BFS, and a start delay makes it schedulable by the random-delays
+//! technique.
+
+use congest_engine::{BcongestAlgorithm, LocalView};
+use congest_graph::NodeId;
+
+/// Single-source BFS: computes hop distance and a BFS parent for every node within
+/// `depth_limit` of `source`. Broadcast complexity: at most one broadcast per reached
+/// node.
+///
+/// # Examples
+///
+/// ```
+/// use congest_algos::bfs::Bfs;
+/// use congest_engine::{run_bcongest, RunOptions};
+/// use congest_graph::{generators, NodeId};
+///
+/// let g = generators::path(4);
+/// let run = run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &RunOptions::default()).unwrap();
+/// assert_eq!(run.outputs[3].dist, Some(3));
+/// assert_eq!(run.outputs[3].parent, Some(NodeId::new(2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bfs {
+    source: NodeId,
+    depth_limit: u32,
+    start_round: usize,
+}
+
+impl Bfs {
+    /// Full BFS from `source`, starting at round 0.
+    pub fn new(source: NodeId) -> Self {
+        Self {
+            source,
+            depth_limit: u32::MAX,
+            start_round: 0,
+        }
+    }
+
+    /// Partial BFS: exploration stops at `depth_limit` hops.
+    pub fn with_depth_limit(mut self, limit: u32) -> Self {
+        self.depth_limit = limit;
+        self
+    }
+
+    /// Delayed start: the source broadcasts in round `start_round` (the random-delays
+    /// technique of Theorem 1.4 schedules many BFS instances this way).
+    pub fn with_start_round(mut self, start_round: usize) -> Self {
+        self.start_round = start_round;
+        self
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The depth limit.
+    pub fn depth_limit(&self) -> u32 {
+        self.depth_limit
+    }
+}
+
+/// Output of [`Bfs`] at one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsOutput {
+    /// Hop distance from the source (`None` if unreached / beyond the depth limit).
+    pub dist: Option<u32>,
+    /// BFS tree parent (`None` at the source and at unreached nodes).
+    pub parent: Option<NodeId>,
+}
+
+/// Per-node state of [`Bfs`].
+#[derive(Clone, Debug)]
+pub struct BfsState {
+    dist: Option<u32>,
+    parent: Option<NodeId>,
+    sent: bool,
+}
+
+impl BcongestAlgorithm for Bfs {
+    type State = BfsState;
+    type Msg = u32; // the sender's distance
+    type Output = BfsOutput;
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn init(&self, view: &LocalView<'_>) -> BfsState {
+        if view.node() == self.source {
+            BfsState {
+                dist: Some(0),
+                parent: None,
+                sent: false,
+            }
+        } else {
+            BfsState {
+                dist: None,
+                parent: None,
+                sent: false,
+            }
+        }
+    }
+
+    fn broadcast(&self, s: &BfsState, round: usize) -> Option<u32> {
+        // A node at distance d broadcasts exactly once, in round start + d — the
+        // lock-step wavefront of a synchronous BFS. Nodes at the depth limit do not
+        // expand further.
+        match s.dist {
+            Some(d) if !s.sent && d < self.depth_limit => {
+                (round >= self.start_round + d as usize).then_some(d)
+            }
+            _ => None,
+        }
+    }
+
+    fn on_broadcast_sent(&self, s: &mut BfsState, _round: usize) {
+        s.sent = true;
+    }
+
+    fn receive(&self, s: &mut BfsState, _round: usize, msgs: &[(NodeId, u32)]) {
+        if s.dist.is_some() {
+            return; // first arrival wins; the wavefront never improves on itself
+        }
+        // All same-round arrivals carry the same distance in a synchronous run; pick
+        // the smallest sender ID for determinism.
+        let (&(from, d), _) = msgs
+            .iter()
+            .map(|m| (m, (m.1, m.0)))
+            .min_by_key(|&(_, key)| key)
+            .expect("receive is only called with messages");
+        if d < self.depth_limit {
+            s.dist = Some(d + 1);
+            s.parent = Some(from);
+        }
+    }
+
+    fn is_done(&self, s: &BfsState) -> bool {
+        s.sent || s.dist.is_none()
+    }
+
+    fn output(&self, s: &BfsState) -> BfsOutput {
+        BfsOutput {
+            dist: s.dist,
+            parent: s.parent,
+        }
+    }
+
+    fn next_activity(&self, s: &BfsState, after: usize) -> Option<usize> {
+        match s.dist {
+            Some(d) if !s.sent && d < self.depth_limit => {
+                Some(after.max(self.start_round + d as usize))
+            }
+            _ => None,
+        }
+    }
+
+    fn round_bound(&self, n: usize, _m: usize) -> usize {
+        self.start_round + (self.depth_limit as usize).min(n) + 2
+    }
+
+    fn output_words(&self, _out: &BfsOutput) -> usize {
+        1 // (dist, parent) is a constant number of IDs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_engine::{run_bcongest, RunOptions};
+    use congest_graph::{generators, reference};
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::gnp_connected(40, 0.08, seed);
+            let src = NodeId::new((seed as usize * 7) % 40);
+            let run = run_bcongest(&Bfs::new(src), &g, None, &RunOptions::default()).unwrap();
+            let want = reference::bfs_distances(&g, src);
+            for v in g.nodes() {
+                assert_eq!(run.outputs[v.index()].dist, want[v.index()], "node {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_complexity_is_reached_nodes() {
+        let g = generators::gnp_connected(30, 0.1, 2);
+        let run = run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &RunOptions::default())
+            .unwrap();
+        // Every node broadcasts exactly once except depth-limit leaves (none here).
+        // The last BFS level does broadcast (they don't know they're last).
+        assert_eq!(run.metrics.broadcasts, 30);
+        // Message complexity is Σ deg = 2m.
+        assert_eq!(run.metrics.messages, 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let g = generators::path(6);
+        let algo = Bfs::new(NodeId::new(0)).with_depth_limit(2);
+        let run = run_bcongest(&algo, &g, None, &RunOptions::default()).unwrap();
+        assert_eq!(run.outputs[2].dist, Some(2));
+        assert_eq!(run.outputs[3].dist, None);
+        // Nodes at distance == limit don't broadcast: nodes 0,1 broadcast only.
+        assert_eq!(run.metrics.broadcasts, 2);
+    }
+
+    #[test]
+    fn delayed_start_shifts_rounds() {
+        let g = generators::path(4);
+        let algo = Bfs::new(NodeId::new(0)).with_start_round(5);
+        let run = run_bcongest(&algo, &g, None, &RunOptions::default()).unwrap();
+        assert_eq!(run.outputs[3].dist, Some(3));
+        // Wavefront: nodes 0..3 broadcast in rounds 5..8 (node 3 does not know it is last).
+        assert_eq!(run.metrics.rounds, 9);
+    }
+
+    #[test]
+    fn parents_form_bfs_tree() {
+        let g = generators::grid(4, 4);
+        let run = run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &RunOptions::default())
+            .unwrap();
+        for v in g.nodes().skip(1) {
+            let out = &run.outputs[v.index()];
+            let p = out.parent.unwrap();
+            assert!(g.has_edge(v, p));
+            assert_eq!(
+                run.outputs[p.index()].dist.unwrap() + 1,
+                out.dist.unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! A collection of BFS algorithms executed together in BCONGEST with random start
+//! delays — the executable form of Theorem 1.4, and the workhorse behind the paper's
+//! unweighted-APSP trade-off (Lemmas 3.22/3.23).
+//!
+//! Every node owns one send queue and broadcasts at most one `(bfs, dist)` pair per
+//! round, scheduled by "ideal time" `delay_j + dist` (the random-delay schedule).
+//! Queueing can delay a wavefront, so a node may first learn a non-shortest distance;
+//! correctness is restored by *re-broadcast on improvement* (a Bellman–Ford safety net
+//! that fires rarely — the tests measure how rarely). The collection is
+//! aggregation-based (Definition 3.1): messages to one node in one round are reduced to
+//! the per-BFS minimum, and Theorem 1.4(ii) keeps the number of distinct BFS per
+//! node-round at `O(log n)` w.h.p., so aggregates stay `Õ(1)` words.
+
+use congest_engine::{AggregationAlgorithm, BcongestAlgorithm, LocalView, Wire};
+use congest_graph::{rng, NodeId};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// One BFS exploration message: which BFS, and the sender's distance in it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfsMsg {
+    /// Index of the BFS instance (into [`BfsCollection::sources`]).
+    pub bfs: u32,
+    /// The sender's distance from that BFS's source.
+    pub dist: u32,
+}
+
+impl Wire for BfsMsg {} // two IDs: one word
+
+/// A collection of `ℓ ≤ n` BFS algorithms with per-instance start delays and an
+/// optional shared depth limit.
+///
+/// # Examples
+///
+/// ```
+/// use congest_algos::bfs_collection::BfsCollection;
+/// use congest_engine::{run_bcongest, RunOptions};
+/// use congest_graph::{generators, NodeId, reference};
+///
+/// let g = generators::gnp_connected(20, 0.15, 3);
+/// let sources: Vec<NodeId> = g.nodes().collect();
+/// let algo = BfsCollection::new(sources).with_random_delays(42);
+/// let run = run_bcongest(&algo, &g, None, &RunOptions::default()).unwrap();
+/// // Node 5's distance vector matches sequential BFS from each source.
+/// let want = reference::all_pairs_bfs(&g);
+/// for s in 0..20 {
+///     assert_eq!(run.outputs[5].entries[s].dist, want[s][5]);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BfsCollection {
+    sources: Vec<NodeId>,
+    delays: Vec<usize>,
+    depth_limit: u32,
+}
+
+impl BfsCollection {
+    /// A collection with all delays zero.
+    pub fn new(sources: Vec<NodeId>) -> Self {
+        let delays = vec![0; sources.len()];
+        Self {
+            sources,
+            delays,
+            depth_limit: u32::MAX,
+        }
+    }
+
+    /// Assigns each BFS a uniform random delay in `[0, ℓ)` (Theorem 1.4's shared
+    /// randomness; all nodes must use the same `seed`).
+    pub fn with_random_delays(mut self, seed: u64) -> Self {
+        let mut r = rng::seeded(rng::derive(seed, 0xde1a_5001));
+        let l = self.sources.len().max(1);
+        self.delays = (0..self.sources.len())
+            .map(|_| rand::Rng::random_range(&mut r, 0..l))
+            .collect();
+        self
+    }
+
+    /// Explicit delays (must be one per source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len() != sources.len()`.
+    pub fn with_delays(mut self, delays: Vec<usize>) -> Self {
+        assert_eq!(delays.len(), self.sources.len());
+        self.delays = delays;
+        self
+    }
+
+    /// Truncates every BFS at `limit` hops (the partial BFS of Lemma 3.23).
+    pub fn with_depth_limit(mut self, limit: u32) -> Self {
+        self.depth_limit = limit;
+        self
+    }
+
+    /// The BFS sources.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The per-instance start delays.
+    pub fn delays(&self) -> &[usize] {
+        &self.delays
+    }
+
+    /// The shared depth limit.
+    pub fn depth_limit(&self) -> u32 {
+        self.depth_limit
+    }
+
+    /// The dilation of the collection: each partial BFS runs for at most
+    /// `min(depth_limit, n)` rounds in isolation.
+    pub fn dilation(&self, n: usize) -> usize {
+        (self.depth_limit as usize).min(n)
+    }
+}
+
+/// Per-BFS result at one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfsEntry {
+    /// Hop distance from this BFS's source (`None`: unreached within the limit).
+    pub dist: Option<u32>,
+    /// Parent in this BFS's tree.
+    pub parent: Option<NodeId>,
+}
+
+/// Output of the collection at one node: one entry per BFS instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectionOutput {
+    /// Indexed by BFS instance.
+    pub entries: Vec<BfsEntry>,
+}
+
+/// Per-node state.
+#[derive(Clone, Debug)]
+pub struct CollectionState {
+    dist: Vec<Option<u32>>,
+    parent: Vec<Option<NodeId>>,
+    /// Distance at which each BFS was last broadcast by this node.
+    sent_dist: Vec<Option<u32>>,
+    /// Pending broadcasts: (ideal round = delay + dist, bfs index).
+    /// Invariant: `(delay_j + dist[j], j)` is queued iff `dist[j]` is set and differs
+    /// from `sent_dist[j]` (and is below the depth limit).
+    queue: BTreeSet<(usize, u32)>,
+    /// Number of re-broadcasts caused by improvements after a send (statistics).
+    pub rebroadcasts: u64,
+}
+
+impl BfsCollection {
+    fn enqueue(&self, s: &mut CollectionState, j: u32) {
+        let d = s.dist[j as usize].expect("enqueue requires a distance");
+        if d < self.depth_limit {
+            s.queue.insert((self.delays[j as usize] + d as usize, j));
+        }
+    }
+
+    fn dequeue_if_present(&self, s: &mut CollectionState, j: u32, old_dist: u32) {
+        s.queue
+            .remove(&(self.delays[j as usize] + old_dist as usize, j));
+    }
+}
+
+impl BcongestAlgorithm for BfsCollection {
+    type State = CollectionState;
+    type Msg = BfsMsg;
+    type Output = CollectionOutput;
+
+    fn name(&self) -> &'static str {
+        "bfs-collection"
+    }
+
+    fn init(&self, view: &LocalView<'_>) -> CollectionState {
+        let l = self.sources.len();
+        let mut s = CollectionState {
+            dist: vec![None; l],
+            parent: vec![None; l],
+            sent_dist: vec![None; l],
+            queue: BTreeSet::new(),
+            rebroadcasts: 0,
+        };
+        for (j, &src) in self.sources.iter().enumerate() {
+            if src == view.node() {
+                s.dist[j] = Some(0);
+                self.enqueue(&mut s, j as u32);
+            }
+        }
+        s
+    }
+
+    fn broadcast(&self, s: &CollectionState, round: usize) -> Option<BfsMsg> {
+        let &(ready, j) = s.queue.first()?;
+        (ready <= round).then(|| BfsMsg {
+            bfs: j,
+            dist: s.dist[j as usize].expect("queued BFS has a distance"),
+        })
+    }
+
+    fn on_broadcast_sent(&self, s: &mut CollectionState, _round: usize) {
+        let (_, j) = s.queue.pop_first().expect("a broadcast was just collected");
+        if s.sent_dist[j as usize].is_some() {
+            s.rebroadcasts += 1;
+        }
+        s.sent_dist[j as usize] = s.dist[j as usize];
+    }
+
+    fn receive(&self, s: &mut CollectionState, _round: usize, msgs: &[(NodeId, BfsMsg)]) {
+        // Deterministic processing order: by (bfs, dist, sender).
+        let mut sorted: Vec<&(NodeId, BfsMsg)> = msgs.iter().collect();
+        sorted.sort_unstable_by_key(|(from, m)| (m.bfs, m.dist, *from));
+        for &&(from, m) in &sorted {
+            let j = m.bfs as usize;
+            let cand = m.dist + 1;
+            if cand > self.depth_limit {
+                continue;
+            }
+            let better = s.dist[j].is_none_or(|d| cand < d);
+            if !better {
+                continue;
+            }
+            if let Some(old) = s.dist[j] {
+                self.dequeue_if_present(s, m.bfs, old);
+            }
+            s.dist[j] = Some(cand);
+            s.parent[j] = Some(from);
+            // (Re-)schedule the broadcast unless this exact distance already went out.
+            if s.sent_dist[j] != Some(cand) {
+                self.enqueue(s, m.bfs);
+            }
+        }
+    }
+
+    fn is_done(&self, s: &CollectionState) -> bool {
+        s.queue.is_empty()
+    }
+
+    fn output(&self, s: &CollectionState) -> CollectionOutput {
+        CollectionOutput {
+            entries: s
+                .dist
+                .iter()
+                .zip(&s.parent)
+                .map(|(&dist, &parent)| BfsEntry { dist, parent })
+                .collect(),
+        }
+    }
+
+    fn next_activity(&self, s: &CollectionState, after: usize) -> Option<usize> {
+        s.queue.first().map(|&(ready, _)| after.max(ready))
+    }
+
+    fn round_bound(&self, n: usize, _m: usize) -> usize {
+        let max_delay = self.delays.iter().copied().max().unwrap_or(0);
+        // Õ(ℓ + dilation) w.h.p. (Theorem 1.4) plus generous slack for re-broadcasts.
+        8 * (max_delay + self.sources.len() + self.dilation(n)) + 64
+    }
+
+    fn output_words(&self, out: &CollectionOutput) -> usize {
+        out.entries.len().max(1)
+    }
+}
+
+impl AggregationAlgorithm for BfsCollection {
+    fn aggregate(
+        &self,
+        _receiver: NodeId,
+        _round: usize,
+        msgs: Vec<(NodeId, BfsMsg)>,
+    ) -> Vec<(NodeId, BfsMsg)> {
+        // Per BFS instance, only the minimum distance matters; ties broken by sender ID
+        // so that simulated and direct runs pick identical parents.
+        let mut best: BTreeMap<u32, (u32, NodeId)> = BTreeMap::new();
+        for (from, m) in msgs {
+            let entry = best.entry(m.bfs).or_insert((m.dist, from));
+            if (m.dist, from) < *entry {
+                *entry = (m.dist, from);
+            }
+        }
+        best.into_iter()
+            .map(|(bfs, (dist, from))| (from, BfsMsg { bfs, dist }))
+            .collect()
+    }
+
+    fn aggregate_budget(&self, n: usize) -> usize {
+        // Theorem 1.4(ii): O(log n) distinct BFS per node-round w.h.p.
+        let log = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        (8 * log).min(self.sources.len().max(1))
+    }
+}
+
+/// Extracts, for BFS `j`, the parent vector over all nodes from a run's outputs.
+pub fn parents_of_bfs(outputs: &[CollectionOutput], j: usize) -> Vec<Option<NodeId>> {
+    outputs.iter().map(|o| o.entries[j].parent).collect()
+}
+
+/// Extracts, for BFS `j`, the distance vector over all nodes.
+pub fn dists_of_bfs(outputs: &[CollectionOutput], j: usize) -> Vec<Option<u32>> {
+    outputs.iter().map(|o| o.entries[j].dist).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_engine::{run_bcongest, run_bcongest_observed, RunOptions};
+    use congest_graph::{generators, reference};
+
+    #[test]
+    fn all_sources_match_reference() {
+        let g = generators::gnp_connected(30, 0.1, 7);
+        let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(9);
+        let run = run_bcongest(&algo, &g, None, &RunOptions::default()).unwrap();
+        let want = reference::all_pairs_bfs(&g);
+        for v in g.nodes() {
+            for s in 0..g.n() {
+                assert_eq!(
+                    run.outputs[v.index()].entries[s].dist,
+                    want[s][v.index()],
+                    "dist({s},{v:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_limited_collection_truncates() {
+        let g = generators::path(8);
+        let algo = BfsCollection::new(g.nodes().collect())
+            .with_depth_limit(3)
+            .with_random_delays(1);
+        let run = run_bcongest(&algo, &g, None, &RunOptions::default()).unwrap();
+        let want = reference::all_pairs_bfs(&g);
+        for v in g.nodes() {
+            for s in 0..g.n() {
+                let expect = want[s][v.index()].filter(|&d| d <= 3);
+                assert_eq!(run.outputs[v.index()].entries[s].dist, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_complexity_near_n_per_source() {
+        // B should be ~ n per full BFS (one broadcast per (node, bfs) pair), with few
+        // re-broadcasts.
+        let g = generators::gnp_connected(25, 0.15, 3);
+        let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(5);
+        let run = run_bcongest(&algo, &g, None, &RunOptions::default()).unwrap();
+        let n = g.n() as u64;
+        assert!(run.metrics.broadcasts >= n * (n - 1) / 2);
+        // Allow 30% slack for re-broadcasts; measured slack is usually ~0-2%.
+        assert!(
+            run.metrics.broadcasts <= n * n * 13 / 10,
+            "B = {} for n = {n}",
+            run.metrics.broadcasts
+        );
+    }
+
+    #[test]
+    fn completion_within_theorem_1_4_bound() {
+        let g = generators::gnp_connected(40, 0.1, 11);
+        let l = g.n();
+        let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(13);
+        let run = run_bcongest(&algo, &g, None, &RunOptions::default()).unwrap();
+        let dilation = algo.dilation(g.n()) as u64;
+        // Õ(ℓ + dilation): use a generous constant; the bench measures the real ratio.
+        assert!(
+            run.metrics.rounds <= 8 * (l as u64 + dilation),
+            "rounds = {}",
+            run.metrics.rounds
+        );
+    }
+
+    #[test]
+    fn distinct_bfs_per_round_is_logarithmic() {
+        let g = generators::gnp_connected(50, 0.15, 17);
+        let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(19);
+        let mut max_distinct = 0usize;
+        let _ = run_bcongest_observed(
+            &algo,
+            &g,
+            None,
+            &RunOptions::default(),
+            |_node, _round, inbox| {
+                let mut ids: Vec<u32> = inbox.iter().map(|(_, m)| m.bfs).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                max_distinct = max_distinct.max(ids.len());
+            },
+        )
+        .unwrap();
+        // Theorem 1.4(ii): O(log n). log2(50) ≈ 5.6; allow constant 6.
+        assert!(
+            max_distinct <= 6 * 6,
+            "max distinct BFS per node-round = {max_distinct}"
+        );
+    }
+
+    #[test]
+    fn aggregation_keeps_min_per_bfs() {
+        let algo = BfsCollection::new(vec![NodeId::new(0), NodeId::new(1)]);
+        let msgs = vec![
+            (NodeId::new(3), BfsMsg { bfs: 0, dist: 5 }),
+            (NodeId::new(2), BfsMsg { bfs: 0, dist: 3 }),
+            (NodeId::new(4), BfsMsg { bfs: 1, dist: 1 }),
+            (NodeId::new(5), BfsMsg { bfs: 0, dist: 3 }),
+        ];
+        let agg = algo.aggregate(NodeId::new(9), 0, msgs);
+        assert_eq!(agg.len(), 2);
+        assert!(agg.contains(&(NodeId::new(2), BfsMsg { bfs: 0, dist: 3 })));
+        assert!(agg.contains(&(NodeId::new(4), BfsMsg { bfs: 1, dist: 1 })));
+    }
+
+    #[test]
+    fn aggregation_is_partition_invariant() {
+        // Definition 3.1: receive(M) == receive(∪ agg(M_i)) for any partition.
+        let g = generators::gnp_connected(20, 0.2, 23);
+        let algo = BfsCollection::new(g.nodes().collect());
+        let msgs: Vec<(NodeId, BfsMsg)> = (0..10)
+            .map(|i| {
+                (
+                    NodeId::new(i + 1),
+                    BfsMsg {
+                        bfs: (i % 3) as u32,
+                        dist: (10 - i) as u32,
+                    },
+                )
+            })
+            .collect();
+        let view = congest_engine::LocalView::new(&g, None, NodeId::new(0), 1);
+        let mut direct = algo.init(&view);
+        algo.receive(&mut direct, 4, &msgs);
+
+        let mut parts = algo.init(&view);
+        let (a, b) = msgs.split_at(4);
+        let mut union: Vec<(NodeId, BfsMsg)> = algo.aggregate(NodeId::new(0), 4, a.to_vec());
+        union.extend(algo.aggregate(NodeId::new(0), 4, b.to_vec()));
+        algo.receive(&mut parts, 4, &union);
+
+        assert_eq!(algo.output(&direct), algo.output(&parts));
+    }
+
+    #[test]
+    fn delays_are_deterministic_per_seed() {
+        let a = BfsCollection::new((0..10).map(NodeId::new).collect()).with_random_delays(3);
+        let b = BfsCollection::new((0..10).map(NodeId::new).collect()).with_random_delays(3);
+        assert_eq!(a.delays(), b.delays());
+    }
+}

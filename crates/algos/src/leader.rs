@@ -1,0 +1,211 @@
+//! Leader election, BFS-tree construction and node counting — the preprocessing every
+//! simulation starts with (§2.2 step 1: "compute and ensure all nodes know n").
+//!
+//! [`LeaderElect`] floods the minimum ID with distance tracking, which simultaneously
+//! elects the minimum-ID node and hands every node a parent in that node's BFS tree.
+//! [`setup_network`] packages the whole preprocessing: election, subtree counting
+//! (convergecast) and broadcasting `n`, with realized metrics.
+//!
+//! The paper cites Kutten et al. \[25\] for an `O(m log n)`-message election; flooding
+//! with re-broadcast-only-on-improvement is our accounted substitute (see DESIGN.md §2).
+
+use congest_engine::{
+    run_bcongest, BcongestAlgorithm, EngineError, Forest, LocalView, Metrics, RunOptions, Wire,
+};
+use congest_graph::{Graph, NodeId};
+
+/// Message: (candidate leader ID, sender's distance from it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderMsg {
+    /// Smallest ID known to the sender.
+    pub leader: u32,
+    /// Sender's (candidate) distance from that node.
+    pub dist: u32,
+}
+
+impl Wire for LeaderMsg {}
+
+/// Min-ID flooding with BFS-parent tracking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeaderElect;
+
+/// Per-node election state.
+#[derive(Clone, Debug)]
+pub struct LeaderState {
+    best: u32,
+    dist: u32,
+    parent: Option<NodeId>,
+    dirty: bool,
+}
+
+/// Election output at one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaderOutput {
+    /// The elected leader (the minimum ID in the network).
+    pub leader: NodeId,
+    /// Hop distance from the leader.
+    pub dist: u32,
+    /// Parent towards the leader (`None` at the leader).
+    pub parent: Option<NodeId>,
+}
+
+impl BcongestAlgorithm for LeaderElect {
+    type State = LeaderState;
+    type Msg = LeaderMsg;
+    type Output = LeaderOutput;
+
+    fn name(&self) -> &'static str {
+        "leader-elect"
+    }
+
+    fn init(&self, view: &LocalView<'_>) -> LeaderState {
+        LeaderState {
+            best: view.node().raw(),
+            dist: 0,
+            parent: None,
+            dirty: true,
+        }
+    }
+
+    fn broadcast(&self, s: &LeaderState, _round: usize) -> Option<LeaderMsg> {
+        s.dirty.then_some(LeaderMsg {
+            leader: s.best,
+            dist: s.dist,
+        })
+    }
+
+    fn on_broadcast_sent(&self, s: &mut LeaderState, _round: usize) {
+        s.dirty = false;
+    }
+
+    fn receive(&self, s: &mut LeaderState, _round: usize, msgs: &[(NodeId, LeaderMsg)]) {
+        // Adopt lexicographically better (leader, dist+1); ties by sender ID keep the
+        // tree deterministic.
+        let mut sorted: Vec<&(NodeId, LeaderMsg)> = msgs.iter().collect();
+        sorted.sort_unstable_by_key(|(from, m)| (m.leader, m.dist, *from));
+        for &&(from, m) in &sorted {
+            let cand = (m.leader, m.dist + 1);
+            if cand < (s.best, s.dist) {
+                s.best = m.leader;
+                s.dist = m.dist + 1;
+                s.parent = Some(from);
+                s.dirty = true;
+            }
+        }
+    }
+
+    fn is_done(&self, s: &LeaderState) -> bool {
+        !s.dirty
+    }
+
+    fn output(&self, s: &LeaderState) -> LeaderOutput {
+        LeaderOutput {
+            leader: NodeId::from(s.best),
+            dist: s.dist,
+            parent: s.parent,
+        }
+    }
+
+    fn round_bound(&self, n: usize, _m: usize) -> usize {
+        2 * n + 4
+    }
+
+    fn output_words(&self, _out: &LeaderOutput) -> usize {
+        1
+    }
+}
+
+/// The result of network preprocessing: an elected leader, its BFS tree, and the cost
+/// of establishing them plus counting/broadcasting `n`.
+#[derive(Clone, Debug)]
+pub struct NetworkSetup {
+    /// The leader (minimum-ID node).
+    pub leader: NodeId,
+    /// A BFS tree of the graph rooted at the leader.
+    pub tree: Forest,
+    /// Realized cost: election + convergecast of the node count + broadcast of `n`.
+    pub metrics: Metrics,
+}
+
+/// Elects a leader, builds its BFS tree, counts nodes (convergecast) and broadcasts `n`
+/// (downcast flood), all with realized accounting.
+///
+/// # Errors
+///
+/// Propagates engine errors (round-limit, invalid forest — neither can occur on a
+/// connected graph).
+pub fn setup_network(g: &Graph, seed: u64) -> Result<NetworkSetup, EngineError> {
+    let opts = RunOptions {
+        seed,
+        ..RunOptions::default()
+    };
+    let run = run_bcongest(&LeaderElect, g, None, &opts)?;
+    let mut metrics = run.metrics;
+
+    let parents: Vec<Option<NodeId>> = run.outputs.iter().map(|o| o.parent).collect();
+    let tree = Forest::from_parents(g, parents)?;
+    let leader = run.outputs.first().map_or(NodeId::new(0), |o| o.leader);
+
+    // Convergecast the subtree counts (one word per tree edge, leaves-to-root), then
+    // flood `n` back down (one word per tree edge). Exact costs of the obvious
+    // schedule: `depth` rounds and `n - 1` messages each way.
+    let mut count_phase = Metrics::new(g.m());
+    count_phase.rounds = u64::from(tree.depth());
+    for &e in tree.tree_edges() {
+        count_phase.add_messages(e, 1);
+    }
+    let mut bcast_phase = count_phase.clone();
+    bcast_phase.rounds = u64::from(tree.depth());
+    metrics.merge_sequential(&count_phase);
+    metrics.merge_sequential(&bcast_phase);
+
+    Ok(NetworkSetup {
+        leader,
+        tree,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, reference};
+
+    #[test]
+    fn elects_minimum_and_builds_bfs_tree() {
+        let g = generators::gnp_connected(35, 0.1, 4);
+        let setup = setup_network(&g, 1).unwrap();
+        assert_eq!(setup.leader, NodeId::new(0));
+        // Tree is a BFS tree: depth_of == BFS distance.
+        let want = reference::bfs_distances(&g, NodeId::new(0));
+        for v in g.nodes() {
+            assert_eq!(
+                setup.tree.depth_of(v),
+                want[v.index()].unwrap(),
+                "depth of {v:?}"
+            );
+        }
+        assert_eq!(setup.tree.roots(), &[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn metrics_within_flooding_budget() {
+        let g = generators::gnp_connected(30, 0.15, 8);
+        let setup = setup_network(&g, 2).unwrap();
+        // Messages: flooding is O(m · improvements); improvements per node are small.
+        // Generous check: within 8·m·log n plus the two tree passes.
+        let bound = 8 * g.m() as u64 * 6 + 2 * (g.n() as u64 - 1);
+        assert!(setup.metrics.messages <= bound, "messages = {}", setup.metrics.messages);
+        assert!(setup.metrics.rounds >= u64::from(setup.tree.depth()));
+    }
+
+    #[test]
+    fn works_on_a_path() {
+        let g = generators::path(10);
+        let setup = setup_network(&g, 3).unwrap();
+        assert_eq!(setup.leader, NodeId::new(0));
+        assert_eq!(setup.tree.depth(), 9);
+        // Election on a path: node i adopts 0 at round i; rounds ≈ n.
+        assert!(setup.metrics.rounds >= 9);
+    }
+}

@@ -1,0 +1,22 @@
+//! # congest-algos
+//!
+//! Distributed BCONGEST algorithms: the "payloads" the paper's simulations run, plus
+//! the primitives they compose.
+//!
+//! * [`bfs`] — single-source (partial, delayed) BFS;
+//! * [`bfs_collection`] — many BFS under random delays (Theorem 1.4), aggregation-based;
+//! * [`apsp_weighted`] — exact weighted APSP via weight-delayed Dijkstra (the
+//!   Bernstein–Nanongkai substitute for Theorem 1.1);
+//! * [`leader`] — leader election / BFS tree / node counting (preprocessing);
+//! * [`mis`] — Luby's maximal independent set (a classic broadcast-based algorithm);
+//! * [`matching_maximal`] — Israeli–Itai randomized maximal matching;
+//! * [`matching_bipartite`] — Ahmadi–Kuhn–Oshman exact bipartite maximum matching
+//!   (Appendix A.1, the payload of Corollary 2.8).
+
+pub mod apsp_weighted;
+pub mod bfs;
+pub mod bfs_collection;
+pub mod leader;
+pub mod matching_bipartite;
+pub mod matching_maximal;
+pub mod mis;

@@ -1,0 +1,90 @@
+//! Property-based tests for the distributed algorithms: exactness against
+//! sequential oracles and validity of randomized outputs across arbitrary seeds.
+
+use congest_algos::apsp_weighted::WeightedApsp;
+use congest_algos::bfs::Bfs;
+use congest_algos::bfs_collection::BfsCollection;
+use congest_algos::matching_maximal::{matching_pairs, IsraeliItai};
+use congest_algos::mis::{is_valid_mis, LubyMis};
+use congest_engine::{run_bcongest, RunOptions};
+use congest_graph::{generators, reference, NodeId, WeightedGraph};
+use proptest::prelude::*;
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions {
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn bfs_exact_on_arbitrary_connected_graphs(seed in 0u64..500, n in 8usize..36) {
+        let g = generators::gnp_connected(n, 0.15, seed);
+        let src = NodeId::new(seed as usize % n);
+        let run = run_bcongest(&Bfs::new(src), &g, None, &opts(seed)).unwrap();
+        let want = reference::bfs_distances(&g, src);
+        for v in g.nodes() {
+            prop_assert_eq!(run.outputs[v.index()].dist, want[v.index()]);
+        }
+    }
+
+    #[test]
+    fn bfs_collection_exact_with_arbitrary_delays(seed in 0u64..200, delay_seed in 0u64..50) {
+        let g = generators::gnp_connected(18, 0.2, seed);
+        let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(delay_seed);
+        let run = run_bcongest(&algo, &g, None, &opts(seed)).unwrap();
+        let want = reference::all_pairs_bfs(&g);
+        for v in 0..g.n() {
+            for s in 0..g.n() {
+                prop_assert_eq!(run.outputs[v].entries[s].dist, want[s][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_apsp_exact_with_arbitrary_weights(seed in 0u64..200, wmax in 1u64..12) {
+        let g = generators::gnp_connected(14, 0.25, seed);
+        let wg = WeightedGraph::random_weights(&g, 0..=wmax, seed);
+        let algo = WeightedApsp::new(wg.max_weight());
+        let run = run_bcongest(&algo, &g, Some(wg.weights()), &opts(seed)).unwrap();
+        let want = reference::all_pairs_dijkstra(&wg);
+        for v in 0..g.n() {
+            for s in 0..g.n() {
+                prop_assert_eq!(run.outputs[v].dist[s], want[s][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn mis_valid_for_any_seed(seed in 0u64..500) {
+        let g = generators::gnp_connected(24, 0.2, seed % 7);
+        let run = run_bcongest(&LubyMis, &g, None, &opts(seed)).unwrap();
+        prop_assert!(is_valid_mis(&g, &run.outputs));
+    }
+
+    #[test]
+    fn israeli_itai_maximal_for_any_seed(seed in 0u64..500) {
+        let g = generators::gnp_connected(22, 0.2, seed % 5);
+        let run = run_bcongest(&IsraeliItai, &g, None, &opts(seed)).unwrap();
+        let pairs = matching_pairs(&run.outputs);
+        prop_assert!(reference::is_maximal_matching(&g, &pairs));
+    }
+
+    #[test]
+    fn bfs_tree_parents_consistent(seed in 0u64..200) {
+        let g = generators::gnp_connected(20, 0.2, seed);
+        let run = run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &opts(seed)).unwrap();
+        for v in g.nodes().skip(1) {
+            if let Some(p) = run.outputs[v.index()].parent {
+                prop_assert!(g.has_edge(v, p));
+                prop_assert_eq!(
+                    run.outputs[p.index()].dist.unwrap() + 1,
+                    run.outputs[v.index()].dist.unwrap()
+                );
+            }
+        }
+    }
+}

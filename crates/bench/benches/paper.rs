@@ -1,0 +1,107 @@
+//! Criterion benches — one group per paper claim (same functions as the
+//! `experiments` harness, at fixed small sizes so criterion's repetitions stay
+//! affordable). The quantity of interest in this repo is message/round *counts*
+//! (exact, deterministic); wall-clock here tracks simulator cost, which is useful
+//! for catching algorithmic regressions in the simulators themselves.
+
+use congest_bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const SEED: u64 = 20250608;
+
+fn bench_e_t1_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_t1_1_weighted_apsp");
+    g.sample_size(10);
+    g.bench_function("n16_24", |b| {
+        b.iter(|| ex::e_t1_1(std::hint::black_box(&[16, 24]), SEED))
+    });
+    g.finish();
+}
+
+fn bench_e_t1_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_t1_2_tradeoff");
+    g.sample_size(10);
+    g.bench_function("n20_sweep", |b| {
+        b.iter(|| ex::e_t1_2(20, std::hint::black_box(&[0.0, 0.5, 1.0]), SEED))
+    });
+    g.finish();
+}
+
+fn bench_e_t2_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_t2_1_simulation_overhead");
+    g.sample_size(10);
+    g.bench_function("n20", |b| b.iter(|| ex::e_t2_1(std::hint::black_box(20), SEED)));
+    g.finish();
+}
+
+fn bench_e_l2_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_l2_4_ldc");
+    g.sample_size(20);
+    g.bench_function("n48", |b| b.iter(|| ex::e_l2_4(std::hint::black_box(48), SEED)));
+    g.finish();
+}
+
+fn bench_e_t3_3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_t3_3_hierarchy");
+    g.sample_size(20);
+    g.bench_function("n48", |b| {
+        b.iter(|| ex::e_t3_3(std::hint::black_box(48), &[0.34, 0.5], SEED))
+    });
+    g.finish();
+}
+
+fn bench_e_l3_7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_l3_7_cluster_edge_probability");
+    g.sample_size(10);
+    g.bench_function("n48_t5", |b| {
+        b.iter(|| ex::e_l3_7(std::hint::black_box(48), 5, SEED))
+    });
+    g.finish();
+}
+
+fn bench_e_l3_8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_l3_8_congestion_smoothing");
+    g.sample_size(10);
+    g.bench_function("n24", |b| b.iter(|| ex::e_l3_8(std::hint::black_box(24), SEED)));
+    g.finish();
+}
+
+fn bench_e_t1_4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_t1_4_bfs_scheduling");
+    g.sample_size(20);
+    g.bench_function("n40", |b| {
+        b.iter(|| ex::e_t1_4(std::hint::black_box(40), &[8, 16], SEED))
+    });
+    g.finish();
+}
+
+fn bench_e_c2_8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_c2_8_matching");
+    g.sample_size(10);
+    g.bench_function("n12_20", |b| {
+        b.iter(|| ex::e_c2_8(std::hint::black_box(&[6, 10]), SEED))
+    });
+    g.finish();
+}
+
+fn bench_e_c2_9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e_c2_9_cover");
+    g.sample_size(10);
+    g.bench_function("n20", |b| b.iter(|| ex::e_c2_9(std::hint::black_box(20), SEED)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e_t1_1,
+    bench_e_t1_2,
+    bench_e_t2_1,
+    bench_e_l2_4,
+    bench_e_t3_3,
+    bench_e_l3_7,
+    bench_e_l3_8,
+    bench_e_t1_4,
+    bench_e_c2_8,
+    bench_e_c2_9,
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! # congest-bench
+//!
+//! The experiment suite reproducing every quantitative claim of the paper (see
+//! DESIGN.md §4 for the index): [`experiments`] holds one function per claim,
+//! [`table`] the rendering/fitting helpers. The `experiments` binary prints the
+//! tables recorded in EXPERIMENTS.md; the criterion benches reuse the same
+//! functions at fixed sizes.
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,196 @@
+//! **Lemmas 3.22 and 3.23** — computing many BFS trees message-efficiently.
+//!
+//! * [`all_bfs_star`] (Lemma 3.22, `ε ∈ [1/2, 1]`): all `n` BFS under random delays
+//!   (Theorem 1.4), simulated via Theorem 3.10 over one pruned hierarchy —
+//!   `Õ(n^{2-ε})` rounds, `Õ(n^{2+ε})` messages.
+//! * [`all_bfs_batched`] (Lemma 3.23, `ε ∈ (0, 1/2]`): the `n` depth-limited BFS
+//!   split into `⌈n^ε⌉` batches, each simulated via Theorem 3.9 over its own member
+//!   of an ensemble of pruned hierarchies (Lemma 3.8's congestion smoothing), then
+//!   composed with the congestion+dilation accounting of Theorem 1.3.
+//!
+//! Both charge the shared-randomness distribution exactly as the paper prescribes
+//! (Õ(n) rounds, Õ(n²) messages per use).
+
+use congest_algos::bfs_collection::BfsCollection;
+use congest_algos::leader::setup_network;
+use congest_decomp::pruning::prune;
+use congest_decomp::{Ensemble, Hierarchy};
+use congest_engine::{EngineError, Metrics};
+use congest_graph::{Graph, NodeId};
+use congest_sched::{compose_measured, paper_shared_words, shared_randomness};
+
+use crate::simulate::{
+    simulate_aggregation_general, simulate_aggregation_star, AggSimOptions,
+};
+
+/// Result of a many-BFS computation.
+#[derive(Clone, Debug)]
+pub struct BfsForestResult {
+    /// `dist[v][s]` = hop distance from source `s` (node ID `s`) to `v`, up to the
+    /// depth limit (`None` beyond it).
+    pub dist: Vec<Vec<Option<u32>>>,
+    /// Realized total cost.
+    pub metrics: Metrics,
+    /// The depth limit used (`u32::MAX` for full BFS).
+    pub depth_limit: u32,
+}
+
+/// Lemma 3.22: `n` full BFS trees for `ε ∈ [1/2, 1]`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn all_bfs_star(g: &Graph, epsilon: f64, seed: u64) -> Result<BfsForestResult, EngineError> {
+    assert!((0.5..=1.0).contains(&epsilon), "Lemma 3.22 needs ε ∈ [1/2, 1]");
+    let mut metrics = Metrics::new(g.m());
+
+    // Shared randomness for the random delays (Theorem 1.4).
+    let setup = setup_network(g, seed)?;
+    let sr = shared_randomness(g, &setup.tree, paper_shared_words(g.n()), seed);
+    metrics.merge_sequential(&setup.metrics);
+    metrics.merge_sequential(&sr.metrics);
+
+    let h = prune(g, &Hierarchy::build(g, epsilon, seed));
+    let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(sr.seed);
+    let sim = simulate_aggregation_star(
+        &algo,
+        g,
+        None,
+        &h,
+        &AggSimOptions {
+            seed,
+            charge_hierarchy: true,
+            max_phases: None,
+        },
+    )?;
+    metrics.merge_sequential(&sim.metrics);
+
+    Ok(BfsForestResult {
+        dist: sim
+            .outputs
+            .iter()
+            .map(|o| o.entries.iter().map(|e| e.dist).collect())
+            .collect(),
+        metrics,
+        depth_limit: u32::MAX,
+    })
+}
+
+/// Lemma 3.23: `n` BFS trees truncated at `depth_limit`, for `ε ∈ (0, 1/2]`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn all_bfs_batched(
+    g: &Graph,
+    epsilon: f64,
+    depth_limit: u32,
+    seed: u64,
+) -> Result<BfsForestResult, EngineError> {
+    assert!(epsilon > 0.0 && epsilon <= 0.5, "Lemma 3.23 needs ε ∈ (0, 1/2]");
+    let n = g.n();
+    let mut metrics = Metrics::new(g.m());
+
+    let batches = Ensemble::paper_zeta(n, epsilon).max(1);
+    let setup = setup_network(g, seed)?;
+    metrics.merge_sequential(&setup.metrics);
+    // One shared-randomness distribution per batch (as in the Lemma 3.23 proof).
+    for _ in 0..batches {
+        let sr = shared_randomness(g, &setup.tree, paper_shared_words(n), seed);
+        metrics.merge_sequential(&sr.metrics);
+    }
+    let ensemble = Ensemble::build(g, epsilon, batches, seed);
+    metrics.merge_sequential(&ensemble.metrics);
+
+    let sources: Vec<NodeId> = g.nodes().collect();
+    let chunk = n.div_ceil(batches);
+    let mut dist: Vec<Vec<Option<u32>>> = vec![vec![None; n]; n];
+    let mut batch_metrics: Vec<Metrics> = Vec::with_capacity(batches);
+
+    for (b, chunk_sources) in sources.chunks(chunk).enumerate() {
+        let h = &ensemble.hierarchies[b % ensemble.len()];
+        let algo = BfsCollection::new(chunk_sources.to_vec())
+            .with_depth_limit(depth_limit)
+            .with_random_delays(congest_graph::rng::derive(seed, 0xba7c_0000 + b as u64));
+        let sim = simulate_aggregation_general(
+            &algo,
+            g,
+            None,
+            h,
+            &AggSimOptions {
+                seed: congest_graph::rng::derive(seed, 0x5eed_0000 + b as u64),
+                charge_hierarchy: false, // the ensemble is charged once above
+                max_phases: None,
+            },
+        )?;
+        for v in 0..n {
+            for (j, entry) in sim.outputs[v].entries.iter().enumerate() {
+                let s = chunk_sources[j].index();
+                dist[v][s] = entry.dist;
+            }
+        }
+        batch_metrics.push(sim.metrics);
+    }
+
+    // The batches run together under Theorem 1.3: congestion+dilation accounting
+    // over the measured executions (see DESIGN.md §2).
+    let composed = compose_measured(g, &batch_metrics);
+    metrics.merge_sequential(&composed.metrics);
+
+    Ok(BfsForestResult {
+        dist,
+        metrics,
+        depth_limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, reference};
+
+    #[test]
+    fn star_route_matches_reference() {
+        let g = generators::gnp_connected(22, 0.15, 1);
+        let res = all_bfs_star(&g, 0.5, 11).unwrap();
+        let want = reference::all_pairs_bfs(&g);
+        for v in 0..g.n() {
+            for s in 0..g.n() {
+                assert_eq!(res.dist[v][s], want[s][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_route_matches_truncated_reference() {
+        let g = generators::gnp_connected(24, 0.12, 2);
+        let depth = 4;
+        let res = all_bfs_batched(&g, 0.5, depth, 13).unwrap();
+        let want = reference::all_pairs_bfs(&g);
+        for v in 0..g.n() {
+            for s in 0..g.n() {
+                let expect = want[s][v].filter(|&d| d <= depth);
+                assert_eq!(res.dist[v][s], expect, "({s},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_route_small_epsilon() {
+        let g = generators::grid(5, 5);
+        let res = all_bfs_batched(&g, 0.34, 3, 17).unwrap();
+        let want = reference::all_pairs_bfs(&g);
+        for v in 0..g.n() {
+            for s in 0..g.n() {
+                assert_eq!(res.dist[v][s], want[s][v].filter(|&d| d <= 3));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Lemma 3.22")]
+    fn star_route_rejects_small_epsilon() {
+        let g = generators::path(4);
+        let _ = all_bfs_star(&g, 0.3, 1);
+    }
+}

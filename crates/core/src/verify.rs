@@ -1,0 +1,107 @@
+//! Verification oracles used by tests, examples and the experiment harness.
+
+use congest_graph::{reference, Graph, WeightedGraph};
+
+/// Checks an unweighted APSP answer (`dist[v][s]`) against sequential all-pairs BFS.
+///
+/// # Errors
+///
+/// Returns the first mismatching `(source, node)` pair.
+pub fn check_unweighted_apsp(g: &Graph, dist: &[Vec<Option<u32>>]) -> Result<(), String> {
+    let want = reference::all_pairs_bfs(g);
+    for v in 0..g.n() {
+        for s in 0..g.n() {
+            if dist[v][s] != want[s][v] {
+                return Err(format!(
+                    "dist({s},{v}) = {:?}, want {:?}",
+                    dist[v][s], want[s][v]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a weighted APSP answer against sequential all-pairs Dijkstra.
+///
+/// # Errors
+///
+/// Returns the first mismatching `(source, node)` pair.
+pub fn check_weighted_apsp(wg: &WeightedGraph, dist: &[Vec<Option<u64>>]) -> Result<(), String> {
+    let want = reference::all_pairs_dijkstra(wg);
+    for v in 0..wg.n() {
+        for s in 0..wg.n() {
+            if dist[v][s] != want[s][v] {
+                return Err(format!(
+                    "dist({s},{v}) = {:?}, want {:?}",
+                    dist[v][s], want[s][v]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a matching is a *maximum* matching of a bipartite graph.
+///
+/// # Errors
+///
+/// Describes the violation (not a matching / not maximum / not bipartite).
+pub fn check_maximum_matching(
+    g: &Graph,
+    pairs: &[(congest_graph::NodeId, congest_graph::NodeId)],
+) -> Result<(), String> {
+    if !reference::is_matching(g, pairs) {
+        return Err("not a matching".into());
+    }
+    let want = reference::hopcroft_karp(g).ok_or("graph is not bipartite")?;
+    if pairs.len() != want {
+        return Err(format!("matching size {} ≠ maximum {want}", pairs.len()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn apsp_checkers_accept_reference_answers() {
+        let g = generators::gnp_connected(12, 0.3, 1);
+        let bfs = reference::all_pairs_bfs(&g);
+        // Transpose: checkers take dist[v][s].
+        let dist: Vec<Vec<Option<u32>>> = (0..g.n())
+            .map(|v| (0..g.n()).map(|s| bfs[s][v]).collect())
+            .collect();
+        check_unweighted_apsp(&g, &dist).unwrap();
+
+        let wg = WeightedGraph::random_weights(&g, 1..=5, 1);
+        let dij = reference::all_pairs_dijkstra(&wg);
+        let wdist: Vec<Vec<Option<u64>>> = (0..g.n())
+            .map(|v| (0..g.n()).map(|s| dij[s][v]).collect())
+            .collect();
+        check_weighted_apsp(&wg, &wdist).unwrap();
+    }
+
+    #[test]
+    fn apsp_checker_rejects_wrong_answers() {
+        let g = generators::path(4);
+        let mut dist: Vec<Vec<Option<u32>>> = vec![vec![Some(0); 4]; 4];
+        dist[3][0] = Some(99);
+        assert!(check_unweighted_apsp(&g, &dist).is_err());
+    }
+
+    #[test]
+    fn matching_checker() {
+        let g = generators::cycle(6);
+        use congest_graph::NodeId;
+        let max = vec![
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(3)),
+            (NodeId::new(4), NodeId::new(5)),
+        ];
+        check_maximum_matching(&g, &max).unwrap();
+        assert!(check_maximum_matching(&g, &max[..2]).is_err());
+    }
+}

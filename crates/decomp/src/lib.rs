@@ -1,0 +1,27 @@
+//! # congest-decomp
+//!
+//! Graph decompositions for the CONGEST APSP reproduction:
+//!
+//! * [`mpx`] — the Miller–Peng–Xu low-diameter decomposition (distributed, with
+//!   exponential shifts), plus the shared [`Clustering`] type;
+//! * [`ldc`] — the paper's Low Diameter and Communication decomposition
+//!   (Definition 2.3 / Lemma 2.4), the substrate of the Theorem 2.1 simulation;
+//! * [`baswana_sen`] — the `(κ+1)`-level cluster [`Hierarchy`] of §3.1
+//!   (Theorem 3.3), substrate of the trade-off simulations;
+//! * [`pruning`] — the heavy-subtree pruning of Corollary 3.5;
+//! * [`ensemble`] — ensembles of pruned hierarchies (Lemmas 3.7/3.8);
+//! * [`spanner`] — the `(2κ−1)`-spanner by-product with a stretch checker;
+//! * [`cover`] — `(k, W)`-sparse neighborhood covers (Corollary 2.9's payload).
+
+pub mod baswana_sen;
+pub mod cover;
+pub mod ensemble;
+pub mod ldc;
+pub mod mpx;
+pub mod pruning;
+pub mod spanner;
+
+pub use baswana_sen::{Hierarchy, Level};
+pub use ensemble::Ensemble;
+pub use ldc::{FEdge, LdcDecomposition};
+pub use mpx::Clustering;

@@ -1,0 +1,387 @@
+//! The BCONGEST model: algorithm trait and direct (unsimulated) runner.
+//!
+//! [`BcongestAlgorithm`] is the central abstraction of this workspace. It describes a
+//! BCONGEST algorithm (§1.1.2: every round a node sends the *same* message to all its
+//! neighbors) as a **pure per-node state machine**. Purity is load-bearing:
+//!
+//! * the direct runner below executes it while counting rounds, messages, and the
+//!   paper's *broadcast complexity* `B`;
+//! * the Theorem 2.1 simulation lets cluster centers replicate member state machines;
+//! * the Theorem 3.9/3.10 simulations step the same machines at their own nodes but
+//!   deliver message *aggregates* instead of raw messages.
+//!
+//! All three executions of the same algorithm with the same seed produce identical
+//! outputs — which is exactly the correctness statement of Lemmas 2.5/3.14/3.20, and is
+//! asserted wholesale by the integration tests.
+
+use crate::error::EngineError;
+use crate::metrics::Metrics;
+use crate::view::LocalView;
+use crate::wire::Wire;
+use congest_graph::{rng, Graph, NodeId};
+
+/// A BCONGEST algorithm as a pure per-node state machine.
+///
+/// ## Contract
+///
+/// * [`broadcast`](Self::broadcast) must be a pure function of `(state, round)`;
+/// * after the runner collects a broadcast it calls
+///   [`on_broadcast_sent`](Self::on_broadcast_sent), the mutation point for "my message
+///   went out" (e.g. popping a send queue);
+/// * [`receive`](Self::receive) is invoked only on rounds where the node receives at
+///   least one message — state machines must not rely on empty-inbox ticks (use the
+///   `round` argument instead);
+/// * [`next_activity`](Self::next_activity) lets the runner skip provably-idle rounds
+///   (they are still counted); return the earliest future round at which the node might
+///   broadcast *absent further input*.
+pub trait BcongestAlgorithm {
+    /// Per-node state.
+    type State: Clone + std::fmt::Debug;
+    /// The broadcast message type; must fit in one word (one `O(log n)`-bit message).
+    type Msg: Wire;
+    /// Per-node output.
+    type Output: Clone + std::fmt::Debug + PartialEq;
+
+    /// Human-readable algorithm name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Initial state of a node, from its local knowledge.
+    fn init(&self, view: &LocalView<'_>) -> Self::State;
+
+    /// The message this node broadcasts in `round`, if any. Pure.
+    fn broadcast(&self, state: &Self::State, round: usize) -> Option<Self::Msg>;
+
+    /// Called exactly once right after a non-`None` broadcast was collected in `round`.
+    fn on_broadcast_sent(&self, state: &mut Self::State, round: usize);
+
+    /// Delivers the messages this node receives in `round` (all broadcast by neighbors
+    /// in the same round). Only called when `msgs` is non-empty.
+    fn receive(&self, state: &mut Self::State, round: usize, msgs: &[(NodeId, Self::Msg)]);
+
+    /// Whether this node's output is final and it will never broadcast again.
+    fn is_done(&self, state: &Self::State) -> bool;
+
+    /// This node's output.
+    fn output(&self, state: &Self::State) -> Self::Output;
+
+    /// Earliest round `>= after` at which this node might broadcast, assuming it
+    /// receives nothing further. `None` if it will stay silent forever absent input.
+    ///
+    /// The default is conservative: active every round until done.
+    fn next_activity(&self, state: &Self::State, after: usize) -> Option<usize> {
+        if self.is_done(state) {
+            None
+        } else {
+            Some(after)
+        }
+    }
+
+    /// A safe upper bound on the number of rounds on an `n`-node, `m`-edge graph
+    /// (the paper's known bound `T_A`). Used as the default round guard and as the
+    /// denominator in the Theorem 2.1 overhead experiments.
+    fn round_bound(&self, n: usize, m: usize) -> usize;
+
+    /// Size of one node's output in words (`Out = Σ_v output_words`).
+    fn output_words(&self, out: &Self::Output) -> usize;
+}
+
+/// An aggregation-based BCONGEST algorithm (Definition 3.1).
+///
+/// [`aggregate`](Self::aggregate) must return a *subset* of the input messages,
+/// representable in `Õ(1)` words, such that delivering the union of aggregates of any
+/// partition of a round's messages leaves [`BcongestAlgorithm::receive`] with the same
+/// effect as delivering all messages. (min/max/sum-style algorithms qualify; so do
+/// collections of BFS algorithms once only `O(log n)` of them are active per
+/// neighborhood per round — Theorem 1.4.)
+pub trait AggregationAlgorithm: BcongestAlgorithm {
+    /// Reduces a batch of same-round messages addressed to `receiver` to an equivalent
+    /// small subset.
+    fn aggregate(
+        &self,
+        receiver: NodeId,
+        round: usize,
+        msgs: Vec<(NodeId, Self::Msg)>,
+    ) -> Vec<(NodeId, Self::Msg)>;
+
+    /// Upper bound (in words) on the size of any aggregate this algorithm produces; the
+    /// simulations assert it. `Õ(1)` for a faithful Definition-3.1 algorithm.
+    fn aggregate_budget(&self, n: usize) -> usize;
+}
+
+/// Options for [`run_bcongest`].
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Hard round limit; `None` uses 4×[`BcongestAlgorithm::round_bound`] + 64.
+    pub max_rounds: Option<usize>,
+    /// Master seed; per-node seeds are derived from it.
+    pub seed: u64,
+}
+
+/// Result of a direct BCONGEST execution.
+#[derive(Clone, Debug)]
+pub struct BcongestRun<O> {
+    /// Per-node outputs, indexed by node.
+    pub outputs: Vec<O>,
+    /// Rounds, messages (Σ deg over broadcasts), broadcast complexity `B`, congestion.
+    pub metrics: Metrics,
+    /// Words of input over all nodes (`I_n / log n` in the paper's notation).
+    pub input_words: usize,
+    /// Words of output over all nodes (`Out`).
+    pub output_words: usize,
+}
+
+/// Runs `algo` directly in the BCONGEST model on `g`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::RoundLimitExceeded`] if the algorithm does not quiesce within
+/// the round limit.
+pub fn run_bcongest<A: BcongestAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    opts: &RunOptions,
+) -> Result<BcongestRun<A::Output>, EngineError> {
+    run_bcongest_observed(algo, g, weights, opts, |_, _, _| {})
+}
+
+/// Like [`run_bcongest`], but invokes `observe(node, round, inbox)` for every non-empty
+/// inbox — used by the Theorem 1.4 experiments to count distinct BFS sources per
+/// node-round.
+pub fn run_bcongest_observed<A, F>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    opts: &RunOptions,
+    mut observe: F,
+) -> Result<BcongestRun<A::Output>, EngineError>
+where
+    A: BcongestAlgorithm,
+    F: FnMut(NodeId, usize, &[(NodeId, A::Msg)]),
+{
+    let n = g.n();
+    let mut metrics = Metrics::new(g.m());
+    let mut states: Vec<A::State> = (0..n)
+        .map(|i| {
+            let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
+            algo.init(&view)
+        })
+        .collect();
+
+    let limit = opts
+        .max_rounds
+        .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);
+
+    let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+    let mut round: usize = 0;
+    let mut rounds_used: u64 = 0;
+
+    loop {
+        if round > limit {
+            return Err(EngineError::RoundLimitExceeded {
+                algorithm: algo.name(),
+                limit,
+            });
+        }
+
+        // 1. Collect broadcasts (pure reads), then apply send transitions.
+        let mut broadcasters: Vec<(NodeId, A::Msg)> = Vec::new();
+        for i in 0..n {
+            if let Some(msg) = algo.broadcast(&states[i], round) {
+                debug_assert_eq!(
+                    msg.words(),
+                    1,
+                    "BCONGEST broadcasts must be single O(log n)-bit messages"
+                );
+                broadcasters.push((NodeId::new(i), msg));
+            }
+        }
+        for (v, _) in &broadcasters {
+            algo.on_broadcast_sent(&mut states[v.index()], round);
+        }
+
+        // 2. Deliver: each broadcast crosses every incident edge.
+        for (v, msg) in &broadcasters {
+            metrics.broadcasts += 1;
+            for (e, u) in g.incident(*v) {
+                metrics.add_messages(e, msg.words() as u64);
+                inboxes[u.index()].push((*v, msg.clone()));
+            }
+        }
+
+        // 3. Receive.
+        let mut any_received = false;
+        for i in 0..n {
+            if !inboxes[i].is_empty() {
+                any_received = true;
+                let inbox = std::mem::take(&mut inboxes[i]);
+                observe(NodeId::new(i), round, &inbox);
+                algo.receive(&mut states[i], round, &inbox);
+            }
+        }
+
+        // 4. Termination / idle-round skipping. Only rounds up to the last activity
+        // count: a real execution halts after its final message.
+        if !broadcasters.is_empty() || any_received {
+            rounds_used = round as u64 + 1;
+            round += 1;
+            continue;
+        }
+        let next = (0..n)
+            .filter_map(|i| algo.next_activity(&states[i], round + 1))
+            .min();
+        match next {
+            Some(r) => {
+                debug_assert!(r > round, "next_activity must move forward");
+                round = r;
+            }
+            None => break,
+        }
+    }
+
+    metrics.rounds = rounds_used;
+
+    let outputs: Vec<A::Output> = states.iter().map(|s| algo.output(s)).collect();
+    let output_words = outputs.iter().map(|o| algo.output_words(o)).sum();
+    let input_words = (0..n)
+        .map(|i| LocalView::new(g, weights, NodeId::new(i), 0).input_words())
+        .sum();
+
+    Ok(BcongestRun {
+        outputs,
+        metrics,
+        input_words,
+        output_words,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    /// Toy algorithm: flood the minimum ID; output it. Broadcast-on-improvement.
+    struct MinFlood;
+
+    #[derive(Clone, Debug)]
+    struct FloodState {
+        best: u32,
+        dirty: bool,
+    }
+
+    impl BcongestAlgorithm for MinFlood {
+        type State = FloodState;
+        type Msg = u32;
+        type Output = u32;
+
+        fn name(&self) -> &'static str {
+            "min-flood"
+        }
+        fn init(&self, view: &LocalView<'_>) -> FloodState {
+            FloodState {
+                best: view.node().raw(),
+                dirty: true,
+            }
+        }
+        fn broadcast(&self, s: &FloodState, _round: usize) -> Option<u32> {
+            s.dirty.then_some(s.best)
+        }
+        fn on_broadcast_sent(&self, s: &mut FloodState, _round: usize) {
+            s.dirty = false;
+        }
+        fn receive(&self, s: &mut FloodState, _round: usize, msgs: &[(NodeId, u32)]) {
+            for &(_, m) in msgs {
+                if m < s.best {
+                    s.best = m;
+                    s.dirty = true;
+                }
+            }
+        }
+        fn is_done(&self, s: &FloodState) -> bool {
+            !s.dirty
+        }
+        fn output(&self, s: &FloodState) -> u32 {
+            s.best
+        }
+        fn round_bound(&self, n: usize, _m: usize) -> usize {
+            2 * n + 2
+        }
+        fn output_words(&self, _out: &u32) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn min_flood_converges_to_zero() {
+        let g = generators::gnp_connected(30, 0.1, 3);
+        let run = run_bcongest(&MinFlood, &g, None, &RunOptions::default()).unwrap();
+        assert!(run.outputs.iter().all(|&o| o == 0));
+        // Rounds at least the eccentricity of node 0.
+        let ecc = congest_graph::reference::eccentricity(&g, NodeId::new(0)).unwrap() as u64;
+        assert!(run.metrics.rounds >= ecc);
+        assert!(run.metrics.broadcasts >= g.n() as u64);
+        // Messages = Σ over broadcasts of deg.
+        assert!(run.metrics.messages >= run.metrics.broadcasts);
+    }
+
+    #[test]
+    fn message_count_on_star() {
+        // Round 0: all 5 nodes broadcast their own ID (hub deg 4, leaves deg 1 each
+        // → 8 messages). Leaves learn 0 and re-broadcast it in round 1 (4 more
+        // broadcasts, 4 messages); the hub learns nothing new. Quiescent after that.
+        let g = generators::star(5);
+        let run = run_bcongest(&MinFlood, &g, None, &RunOptions::default()).unwrap();
+        assert_eq!(run.metrics.broadcasts, 9);
+        assert_eq!(run.metrics.messages, 12);
+        assert_eq!(run.metrics.rounds, 2);
+    }
+
+    #[test]
+    fn round_limit_error() {
+        struct Chatter;
+        impl BcongestAlgorithm for Chatter {
+            type State = ();
+            type Msg = u32;
+            type Output = ();
+            fn name(&self) -> &'static str {
+                "chatter"
+            }
+            fn init(&self, _: &LocalView<'_>) {}
+            fn broadcast(&self, _: &(), _: usize) -> Option<u32> {
+                Some(1)
+            }
+            fn on_broadcast_sent(&self, _: &mut (), _: usize) {}
+            fn receive(&self, _: &mut (), _: usize, _: &[(NodeId, u32)]) {}
+            fn is_done(&self, _: &()) -> bool {
+                false
+            }
+            fn output(&self, _: &()) {}
+            fn round_bound(&self, _: usize, _: usize) -> usize {
+                4
+            }
+            fn output_words(&self, _: &()) -> usize {
+                0
+            }
+        }
+        let g = generators::path(3);
+        let err = run_bcongest(&Chatter, &g, None, &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::RoundLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn observer_sees_inboxes() {
+        let g = generators::path(3);
+        let mut seen = 0usize;
+        let _ = run_bcongest_observed(
+            &MinFlood,
+            &g,
+            None,
+            &RunOptions::default(),
+            |_v, _r, inbox| {
+                seen += inbox.len();
+            },
+        )
+        .unwrap();
+        assert!(seen > 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The general (point-to-point) CONGEST runner: per round, a node may send a
+//! *different* `O(log n)`-bit message over each incident edge (§1.1.1).
+//!
+//! The broadcast-based work in this repository flows through
+//! [`run_bcongest`](crate::run_bcongest); this runner completes the model for
+//! algorithms that genuinely need per-neighbor messages (e.g. routing-table
+//! protocols), and is used by tests as an independent cross-check of the
+//! accounting.
+
+use crate::error::EngineError;
+use crate::metrics::Metrics;
+use crate::view::LocalView;
+use crate::wire::Wire;
+use congest_graph::{rng, EdgeId, Graph, NodeId};
+
+/// A CONGEST algorithm as a pure per-node state machine with per-edge sends.
+///
+/// Mirrors [`crate::BcongestAlgorithm`]'s contract: [`sends`](Self::sends) is pure;
+/// [`on_sent`](Self::on_sent) is the post-send mutation point; [`receive`](Self::receive)
+/// fires only on non-empty inboxes; [`next_activity`](Self::next_activity) drives
+/// idle-round skipping.
+pub trait CongestAlgorithm {
+    /// Per-node state.
+    type State: Clone + std::fmt::Debug;
+    /// Message type; at most one per edge per round, one word each.
+    type Msg: Wire;
+    /// Per-node output.
+    type Output: Clone + std::fmt::Debug + PartialEq;
+
+    /// Algorithm name for diagnostics.
+    fn name(&self) -> &'static str;
+    /// Initial state.
+    fn init(&self, view: &LocalView<'_>) -> Self::State;
+    /// Messages to send this round: `(neighbor, msg)` pairs, at most one per
+    /// neighbor. Pure.
+    fn sends(&self, state: &Self::State, round: usize) -> Vec<(NodeId, Self::Msg)>;
+    /// Called once after this round's sends were collected.
+    fn on_sent(&self, state: &mut Self::State, round: usize);
+    /// Delivers this round's inbox (non-empty).
+    fn receive(&self, state: &mut Self::State, round: usize, msgs: &[(NodeId, Self::Msg)]);
+    /// Whether the node is finished.
+    fn is_done(&self, state: &Self::State) -> bool;
+    /// Final output.
+    fn output(&self, state: &Self::State) -> Self::Output;
+    /// Earliest future activity absent input (idle skipping).
+    fn next_activity(&self, state: &Self::State, after: usize) -> Option<usize> {
+        if self.is_done(state) {
+            None
+        } else {
+            Some(after)
+        }
+    }
+    /// Round guard bound.
+    fn round_bound(&self, n: usize, m: usize) -> usize;
+}
+
+/// Result of a CONGEST execution.
+#[derive(Clone, Debug)]
+pub struct CongestRun<O> {
+    /// Per-node outputs.
+    pub outputs: Vec<O>,
+    /// Rounds/messages/congestion.
+    pub metrics: Metrics,
+}
+
+/// Runs a point-to-point CONGEST algorithm.
+///
+/// # Errors
+///
+/// [`EngineError::RoundLimitExceeded`] if the algorithm does not quiesce in time;
+/// [`EngineError::InvalidPath`] never occurs (sends to non-neighbors panic in debug
+/// builds and are dropped in release builds).
+pub fn run_congest<A: CongestAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    opts: &crate::RunOptions,
+) -> Result<CongestRun<A::Output>, EngineError> {
+    let n = g.n();
+    let mut metrics = Metrics::new(g.m());
+    let mut states: Vec<A::State> = (0..n)
+        .map(|i| {
+            let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
+            algo.init(&view)
+        })
+        .collect();
+    let limit = opts
+        .max_rounds
+        .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);
+
+    let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+    let mut round = 0usize;
+    let mut rounds_used = 0u64;
+    loop {
+        if round > limit {
+            return Err(EngineError::RoundLimitExceeded {
+                algorithm: algo.name(),
+                limit,
+            });
+        }
+        type SendBatch<M> = Vec<(NodeId, M)>;
+        let mut any_sent = false;
+        let mut all_sends: Vec<(NodeId, SendBatch<A::Msg>)> = Vec::new();
+        for i in 0..n {
+            let sends = algo.sends(&states[i], round);
+            if !sends.is_empty() {
+                any_sent = true;
+                all_sends.push((NodeId::new(i), sends));
+            }
+        }
+        for (v, _) in &all_sends {
+            algo.on_sent(&mut states[v.index()], round);
+        }
+        for (v, sends) in &all_sends {
+            let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
+            for (u, m) in sends {
+                let e = g
+                    .edge_between(*v, *u)
+                    .unwrap_or_else(|| panic!("{v:?} sent to non-neighbor {u:?}"));
+                debug_assert!(!used.contains(&e), "two messages on one edge in one round");
+                used.push(e);
+                debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
+                metrics.add_messages(e, m.words() as u64);
+                inboxes[u.index()].push((*v, m.clone()));
+            }
+        }
+        let mut any_received = false;
+        for i in 0..n {
+            if !inboxes[i].is_empty() {
+                any_received = true;
+                let inbox = std::mem::take(&mut inboxes[i]);
+                algo.receive(&mut states[i], round, &inbox);
+            }
+        }
+        if any_sent || any_received {
+            rounds_used = round as u64 + 1;
+            round += 1;
+            continue;
+        }
+        match (0..n)
+            .filter_map(|i| algo.next_activity(&states[i], round + 1))
+            .min()
+        {
+            Some(r) => round = r,
+            None => break,
+        }
+    }
+    metrics.rounds = rounds_used;
+    let outputs = states.iter().map(|s| algo.output(s)).collect();
+    Ok(CongestRun { outputs, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    /// Point-to-point echo: node 0 sends a token around a cycle (each node forwards
+    /// to its successor only — impossible to express as a broadcast without waste).
+    struct RingToken {
+        laps: u32,
+    }
+
+    #[derive(Clone, Debug)]
+    struct TokenState {
+        me: u32,
+        n: u32,
+        holding: bool,
+        count: u32,
+        target: u32,
+        pending: bool,
+    }
+
+    impl CongestAlgorithm for RingToken {
+        type State = TokenState;
+        type Msg = u32; // lap counter
+        type Output = u32;
+
+        fn name(&self) -> &'static str {
+            "ring-token"
+        }
+        fn init(&self, view: &LocalView<'_>) -> TokenState {
+            TokenState {
+                me: view.node().raw(),
+                n: view.n() as u32,
+                holding: view.node().raw() == 0,
+                count: 0,
+                target: self.laps,
+                pending: view.node().raw() == 0,
+            }
+        }
+        fn sends(&self, s: &TokenState, _round: usize) -> Vec<(NodeId, u32)> {
+            if s.pending && s.count < s.target {
+                vec![(NodeId::from((s.me + 1) % s.n), s.count)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn on_sent(&self, s: &mut TokenState, _round: usize) {
+            s.pending = false;
+            s.holding = false;
+        }
+        fn receive(&self, s: &mut TokenState, _round: usize, msgs: &[(NodeId, u32)]) {
+            for &(_, lap) in msgs {
+                s.holding = true;
+                s.count = lap + u32::from(s.me == 0);
+                // The origin retires the token once all laps are complete.
+                s.pending = s.count < s.target;
+            }
+        }
+        fn is_done(&self, s: &TokenState) -> bool {
+            !s.pending
+        }
+        fn output(&self, s: &TokenState) -> u32 {
+            s.count
+        }
+        fn round_bound(&self, n: usize, _m: usize) -> usize {
+            (self.laps as usize + 1) * n + 4
+        }
+    }
+
+    #[test]
+    fn token_circulates_exactly() {
+        let g = generators::cycle(8);
+        let run = run_congest(
+            &RingToken { laps: 3 },
+            &g,
+            None,
+            &crate::RunOptions::default(),
+        )
+        .unwrap();
+        // 3 laps of 8 hops each.
+        assert_eq!(run.metrics.messages, 24);
+        assert_eq!(run.metrics.rounds, 24);
+        // Each edge carried exactly 3 messages.
+        assert!(run.metrics.congestion().iter().all(|&c| c == 3));
+        assert_eq!(run.outputs[0], 3);
+    }
+
+    #[test]
+    fn round_guard() {
+        struct Spinner;
+        #[derive(Clone, Debug)]
+        struct S;
+        impl CongestAlgorithm for Spinner {
+            type State = S;
+            type Msg = u32;
+            type Output = ();
+            fn name(&self) -> &'static str {
+                "spinner"
+            }
+            fn init(&self, _: &LocalView<'_>) -> S {
+                S
+            }
+            fn sends(&self, _: &S, _: usize) -> Vec<(NodeId, u32)> {
+                Vec::new()
+            }
+            fn on_sent(&self, _: &mut S, _: usize) {}
+            fn receive(&self, _: &mut S, _: usize, _: &[(NodeId, u32)]) {}
+            fn is_done(&self, _: &S) -> bool {
+                false
+            }
+            fn output(&self, _: &S) {}
+            fn next_activity(&self, _: &S, after: usize) -> Option<usize> {
+                Some(after) // claims activity forever, never sends
+            }
+            fn round_bound(&self, _: usize, _: usize) -> usize {
+                8
+            }
+        }
+        let g = generators::path(3);
+        let err = run_congest(&Spinner, &g, None, &crate::RunOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::RoundLimitExceeded { .. }));
+    }
+}

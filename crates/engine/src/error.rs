@@ -1,0 +1,62 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors produced by the execution engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A run did not quiesce within its round limit — either the limit was too small or
+    /// the algorithm diverged.
+    RoundLimitExceeded {
+        /// Name of the offending algorithm.
+        algorithm: &'static str,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A routing task referenced a path that is not a walk in the graph.
+    InvalidPath {
+        /// Index of the offending task.
+        task: usize,
+    },
+    /// A forest description was not actually a forest (cycle or non-edge parent link).
+    InvalidForest {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RoundLimitExceeded { algorithm, limit } => {
+                write!(f, "algorithm '{algorithm}' exceeded the round limit of {limit}")
+            }
+            EngineError::InvalidPath { task } => {
+                write!(f, "routing task {task} has a path that is not a walk in the graph")
+            }
+            EngineError::InvalidForest { reason } => write!(f, "invalid forest: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EngineError::RoundLimitExceeded {
+            algorithm: "x",
+            limit: 5,
+        };
+        assert!(e.to_string().contains("round limit"));
+        assert!(EngineError::InvalidPath { task: 3 }.to_string().contains("task 3"));
+        assert!(EngineError::InvalidForest {
+            reason: "cycle".into()
+        }
+        .to_string()
+        .contains("cycle"));
+    }
+}

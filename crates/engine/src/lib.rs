@@ -1,0 +1,72 @@
+//! # congest-engine
+//!
+//! Synchronous execution engine for the CONGEST/BCONGEST models (paper §1.1) with exact
+//! round, message, broadcast-complexity, and per-edge-congestion accounting.
+//!
+//! The pieces:
+//!
+//! * [`BcongestAlgorithm`] / [`AggregationAlgorithm`] — algorithms as pure per-node
+//!   state machines (the workspace's central abstraction; see module docs);
+//! * [`run_bcongest`] — direct BCONGEST execution (counts the paper's broadcast
+//!   complexity `B` and the `Σ deg` message cost);
+//! * [`router`] — store-and-forward packet routing under per-edge capacity (real
+//!   schedules, LMR/Theorem-1.3 style);
+//! * [`treeops`] — the upcast/downcast primitives of Lemmas 1.5/1.6 over [`Forest`]s;
+//! * [`Metrics`] — composable cost accounting;
+//! * [`Wire`] — message sizes in `O(log n)`-bit words.
+//!
+//! ## Example: running a BCONGEST algorithm directly
+//!
+//! ```
+//! use congest_engine::{run_bcongest, RunOptions, BcongestAlgorithm, LocalView};
+//! use congest_graph::{generators, NodeId};
+//!
+//! // A one-shot algorithm: every node broadcasts its ID once; outputs its min neighbor.
+//! struct MinNeighbor;
+//! #[derive(Clone, Debug)]
+//! struct St { me: u32, best: u32, sent: bool }
+//! impl BcongestAlgorithm for MinNeighbor {
+//!     type State = St;
+//!     type Msg = u32;
+//!     type Output = u32;
+//!     fn name(&self) -> &'static str { "min-neighbor" }
+//!     fn init(&self, v: &LocalView<'_>) -> St {
+//!         St { me: v.node().raw(), best: u32::MAX, sent: false }
+//!     }
+//!     fn broadcast(&self, s: &St, _r: usize) -> Option<u32> { (!s.sent).then_some(s.me) }
+//!     fn on_broadcast_sent(&self, s: &mut St, _r: usize) { s.sent = true; }
+//!     fn receive(&self, s: &mut St, _r: usize, msgs: &[(NodeId, u32)]) {
+//!         for &(_, m) in msgs { s.best = s.best.min(m); }
+//!     }
+//!     fn is_done(&self, s: &St) -> bool { s.sent }
+//!     fn output(&self, s: &St) -> u32 { s.best }
+//!     fn round_bound(&self, _n: usize, _m: usize) -> usize { 1 }
+//!     fn output_words(&self, _o: &u32) -> usize { 1 }
+//! }
+//!
+//! let g = generators::cycle(5);
+//! let run = run_bcongest(&MinNeighbor, &g, None, &RunOptions::default()).unwrap();
+//! assert_eq!(run.metrics.broadcasts, 5);      // broadcast complexity B
+//! assert_eq!(run.metrics.messages, 10);       // Σ deg over broadcasters
+//! assert_eq!(run.outputs[0], 1);              // node 0's neighbors are 1 and 4
+//! ```
+
+mod bcongest;
+mod congest;
+mod error;
+mod metrics;
+pub mod router;
+pub mod treeops;
+mod view;
+mod wire;
+
+pub use bcongest::{
+    run_bcongest, run_bcongest_observed, AggregationAlgorithm, BcongestAlgorithm, BcongestRun,
+    RunOptions,
+};
+pub use congest::{run_congest, CongestAlgorithm, CongestRun};
+pub use error::EngineError;
+pub use metrics::Metrics;
+pub use treeops::{downcast, upcast, Delivered, DowncastOutcome, Forest, UpcastOutcome};
+pub use view::LocalView;
+pub use wire::Wire;

@@ -1,0 +1,400 @@
+//! Forests and the upcast/downcast primitives (paper §1.4.2, Lemmas 1.5 and 1.6).
+//!
+//! * **Upcast** (Lemma 1.5): every node holds input items; all items flow to their
+//!   tree's root, each node forwarding one word to its parent per round.
+//! * **Downcast** (Lemma 1.6): roots hold addressed items; each item flows down the
+//!   unique root→destination path, one word per edge per round.
+//!
+//! Both are executed as real packet schedules (via [`crate::router`]), so the returned
+//! metrics are realized costs, which the tests compare against the lemmas' bounds
+//! (`O(I_n/log n)` rounds / `O(d·I_n/log n)` messages for upcast over depth-`d` forests,
+//! `O(|M|+d)` rounds / `O(d·|M|)` messages for downcast).
+
+use crate::error::EngineError;
+use crate::metrics::Metrics;
+use crate::router::{self, RouteTask};
+use crate::wire::Wire;
+use congest_graph::{EdgeId, Graph, NodeId};
+
+/// A rooted spanning forest of (a subset of) the graph: parent pointers that follow
+/// edges of `g`. Nodes with no parent are roots (singleton trees are fine).
+#[derive(Clone, Debug)]
+pub struct Forest {
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    root_of: Vec<NodeId>,
+    depth_of: Vec<u32>,
+    depth: u32,
+    roots: Vec<NodeId>,
+    tree_edges: Vec<EdgeId>,
+}
+
+impl Forest {
+    /// Builds a forest from parent pointers, validating that every pointer follows an
+    /// edge of `g` and that there are no cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidForest`] on a non-edge parent link or a cycle.
+    pub fn from_parents(g: &Graph, parent: Vec<Option<NodeId>>) -> Result<Self, EngineError> {
+        assert_eq!(parent.len(), g.n(), "parent vector must cover all nodes");
+        let mut parent_edge = vec![None; g.n()];
+        let mut tree_edges = Vec::new();
+        for v in g.nodes() {
+            if let Some(p) = parent[v.index()] {
+                let e = g.edge_between(v, p).ok_or_else(|| EngineError::InvalidForest {
+                    reason: format!("parent link {v:?}->{p:?} is not an edge"),
+                })?;
+                parent_edge[v.index()] = Some(e);
+                tree_edges.push(e);
+            }
+        }
+        // Depth computation; also detects cycles (a cycle never resolves).
+        let mut depth_of = vec![u32::MAX; g.n()];
+        let mut root_of = vec![NodeId::new(0); g.n()];
+        let mut roots = Vec::new();
+        for v in g.nodes() {
+            if parent[v.index()].is_none() {
+                depth_of[v.index()] = 0;
+                root_of[v.index()] = v;
+                roots.push(v);
+            }
+        }
+        for v in g.nodes() {
+            if depth_of[v.index()] != u32::MAX {
+                continue;
+            }
+            // Walk up to a resolved ancestor.
+            let mut chain = vec![v];
+            let mut cur = v;
+            loop {
+                let p = parent[cur.index()].ok_or(())
+                    .map_err(|_| EngineError::InvalidForest {
+                        reason: "internal: root should be resolved".into(),
+                    })?;
+                if chain.len() > g.n() {
+                    return Err(EngineError::InvalidForest {
+                        reason: format!("cycle through {v:?}"),
+                    });
+                }
+                if depth_of[p.index()] != u32::MAX {
+                    let mut d = depth_of[p.index()];
+                    let r = root_of[p.index()];
+                    for &c in chain.iter().rev() {
+                        d += 1;
+                        depth_of[c.index()] = d;
+                        root_of[c.index()] = r;
+                    }
+                    break;
+                }
+                chain.push(p);
+                cur = p;
+            }
+        }
+        let depth = depth_of.iter().copied().max().unwrap_or(0);
+        Ok(Self {
+            parent,
+            parent_edge,
+            root_of,
+            depth_of,
+            depth,
+            roots,
+            tree_edges,
+        })
+    }
+
+    /// The parent of `v`, if any.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The edge to `v`'s parent, if any.
+    #[inline]
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// The root of `v`'s tree.
+    #[inline]
+    pub fn root_of(&self, v: NodeId) -> NodeId {
+        self.root_of[v.index()]
+    }
+
+    /// `v`'s depth (0 at roots).
+    #[inline]
+    pub fn depth_of(&self, v: NodeId) -> u32 {
+        self.depth_of[v.index()]
+    }
+
+    /// Maximum depth of the forest.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// All roots (nodes without parents).
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// All tree edges.
+    pub fn tree_edges(&self) -> &[EdgeId] {
+        &self.tree_edges
+    }
+
+    /// The path from `v` to its root (inclusive).
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        router::path_to_root(&self.parent, v)
+    }
+
+    /// Members of each tree, grouped by root (in node order).
+    pub fn members_by_root(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        let mut groups: Vec<(NodeId, Vec<NodeId>)> =
+            self.roots.iter().map(|&r| (r, Vec::new())).collect();
+        let mut slot = vec![usize::MAX; self.parent.len()];
+        for (i, &(r, _)) in groups.iter().enumerate() {
+            slot[r.index()] = i;
+        }
+        for v in 0..self.parent.len() {
+            let v = NodeId::new(v);
+            groups[slot[self.root_of(v).index()]].1.push(v);
+        }
+        groups
+    }
+}
+
+/// One item delivered by [`upcast`]: who originated it and its payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delivered<P> {
+    /// Node at which the item was inserted.
+    pub origin: NodeId,
+    /// The payload.
+    pub payload: P,
+}
+
+/// Result of an [`upcast`] run.
+#[derive(Clone, Debug)]
+pub struct UpcastOutcome<P> {
+    /// Items received at each root: parallel to `Forest::roots()`.
+    pub at_root: Vec<Vec<Delivered<P>>>,
+    /// Realized cost of the operation.
+    pub metrics: Metrics,
+}
+
+/// Upcasts `items` (at their origin nodes) to their tree roots (Lemma 1.5).
+///
+/// # Errors
+///
+/// Propagates routing errors (cannot occur for a validated forest).
+pub fn upcast<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    items: Vec<(NodeId, P)>,
+) -> Result<UpcastOutcome<P>, EngineError> {
+    let tasks: Vec<RouteTask> = items
+        .iter()
+        .map(|(v, p)| RouteTask {
+            path: forest.path_to_root(*v),
+            words: p.words(),
+        })
+        .collect();
+    let report = router::route(g, &tasks)?;
+
+    let mut root_slot = vec![usize::MAX; g.n()];
+    for (i, &r) in forest.roots().iter().enumerate() {
+        root_slot[r.index()] = i;
+    }
+    let mut at_root: Vec<Vec<Delivered<P>>> = vec![Vec::new(); forest.roots().len()];
+    // Delivery order: by completion round, ties by insertion order (matches the
+    // realized schedule).
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| report.completion_round[i]);
+    for i in order {
+        let (v, p) = &items[i];
+        let root = forest.root_of(*v);
+        at_root[root_slot[root.index()]].push(Delivered {
+            origin: *v,
+            payload: p.clone(),
+        });
+    }
+    Ok(UpcastOutcome {
+        at_root,
+        metrics: report.metrics,
+    })
+}
+
+/// Result of a [`downcast`] run.
+#[derive(Clone, Debug)]
+pub struct DowncastOutcome<P> {
+    /// Items received at each destination node (index = node).
+    pub at_node: Vec<Vec<P>>,
+    /// Realized cost of the operation.
+    pub metrics: Metrics,
+}
+
+/// Downcasts addressed `items` from each destination's tree root to the destination
+/// (Lemma 1.6). Items destined to a root are delivered locally for free.
+///
+/// # Errors
+///
+/// Propagates routing errors (cannot occur for a validated forest).
+pub fn downcast<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    items: Vec<(NodeId, P)>,
+) -> Result<DowncastOutcome<P>, EngineError> {
+    let tasks: Vec<RouteTask> = items
+        .iter()
+        .map(|(dest, p)| {
+            let mut path = forest.path_to_root(*dest);
+            path.reverse();
+            RouteTask {
+                path,
+                words: p.words(),
+            }
+        })
+        .collect();
+    let report = router::route(g, &tasks)?;
+
+    let mut at_node: Vec<Vec<P>> = vec![Vec::new(); g.n()];
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| report.completion_round[i]);
+    for i in order {
+        let (dest, p) = &items[i];
+        at_node[dest.index()].push(p.clone());
+    }
+    Ok(DowncastOutcome {
+        at_node,
+        metrics: report.metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    /// A path rooted at node 0.
+    fn path_forest(n: usize) -> (Graph, Forest) {
+        let g = generators::path(n);
+        let parent: Vec<Option<NodeId>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(NodeId::new(i - 1)) })
+            .collect();
+        let f = Forest::from_parents(&g, parent).unwrap();
+        (g, f)
+    }
+
+    #[test]
+    fn forest_structure() {
+        let (_, f) = path_forest(4);
+        assert_eq!(f.roots(), &[NodeId::new(0)]);
+        assert_eq!(f.depth(), 3);
+        assert_eq!(f.root_of(NodeId::new(3)), NodeId::new(0));
+        assert_eq!(f.depth_of(NodeId::new(2)), 2);
+        assert_eq!(f.tree_edges().len(), 3);
+        let groups = f.members_by_root();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 4);
+    }
+
+    #[test]
+    fn invalid_parent_rejected() {
+        let g = generators::path(3);
+        let parent = vec![None, None, Some(NodeId::new(0))]; // 2->0 is not an edge
+        assert!(Forest::from_parents(&g, parent).is_err());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let g = generators::cycle(3);
+        let parent = vec![
+            Some(NodeId::new(1)),
+            Some(NodeId::new(2)),
+            Some(NodeId::new(0)),
+        ];
+        let err = Forest::from_parents(&g, parent).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidForest { .. }));
+    }
+
+    #[test]
+    fn upcast_delivers_all_items() {
+        let (g, f) = path_forest(5);
+        let items: Vec<(NodeId, u64)> = (0..5).map(|i| (NodeId::new(i), i as u64 * 10)).collect();
+        let out = upcast(&g, &f, items).unwrap();
+        assert_eq!(out.at_root.len(), 1);
+        let got: Vec<u64> = out.at_root[0].iter().map(|d| d.payload).collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 10, 20, 30, 40]);
+        // Messages = sum of depths = 0+1+2+3+4 = 10.
+        assert_eq!(out.metrics.messages, 10);
+        // Pipelined rounds: the deepest item needs 4 hops but shares edges; Lemma 1.5
+        // bound: O(I_n) with I_n = 5 words here; realized must be <= 10.
+        assert!(out.metrics.rounds >= 4 && out.metrics.rounds <= 10);
+    }
+
+    #[test]
+    fn upcast_lemma_1_5_shape_on_star() {
+        // Star rooted at the hub, depth 1: rounds ~ I_n only if edges are disjoint —
+        // they are (one edge per leaf), so rounds = max item words, messages = I_n.
+        let g = generators::star(6);
+        let parent: Vec<Option<NodeId>> = (0..6)
+            .map(|i| if i == 0 { None } else { Some(NodeId::new(0)) })
+            .collect();
+        let f = Forest::from_parents(&g, parent).unwrap();
+        let items: Vec<(NodeId, Vec<u64>)> =
+            (1..6).map(|i| (NodeId::new(i), vec![7u64; 3])).collect();
+        let out = upcast(&g, &f, items).unwrap();
+        assert_eq!(out.metrics.messages, 15);
+        assert_eq!(out.metrics.rounds, 3); // 3 words pipelined on disjoint edges
+        assert_eq!(out.at_root[0].len(), 5);
+    }
+
+    #[test]
+    fn downcast_delivers_to_destinations() {
+        let (g, f) = path_forest(5);
+        // Root sends one item to each node.
+        let items: Vec<(NodeId, u64)> = (1..5).map(|i| (NodeId::new(i), i as u64)).collect();
+        let out = downcast(&g, &f, items).unwrap();
+        for i in 1..5 {
+            assert_eq!(out.at_node[i], vec![i as u64]);
+        }
+        // Lemma 1.6: messages <= d * |M| = 4*4; realized = sum of depths = 1+2+3+4.
+        assert_eq!(out.metrics.messages, 10);
+        // Rounds <= |M| + d.
+        assert!(out.metrics.rounds <= 4 + 4);
+    }
+
+    #[test]
+    fn downcast_to_root_is_free() {
+        let (g, f) = path_forest(3);
+        let out = downcast(&g, &f, vec![(NodeId::new(0), 42u64)]).unwrap();
+        assert_eq!(out.at_node[0], vec![42]);
+        assert_eq!(out.metrics.messages, 0);
+        assert_eq!(out.metrics.rounds, 0);
+    }
+
+    #[test]
+    fn multi_tree_forest_parallelism() {
+        // Two disjoint paths upcast concurrently; rounds = max, not sum.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let parent = vec![
+            None,
+            Some(NodeId::new(0)),
+            Some(NodeId::new(1)),
+            None,
+            Some(NodeId::new(3)),
+            Some(NodeId::new(4)),
+        ];
+        let f = Forest::from_parents(&g, parent).unwrap();
+        let items = vec![(NodeId::new(2), 1u64), (NodeId::new(5), 2u64)];
+        let out = upcast(&g, &f, items).unwrap();
+        assert_eq!(out.metrics.rounds, 2);
+        assert_eq!(out.metrics.messages, 4);
+        assert_eq!(out.at_root[0][0].payload, 1);
+        assert_eq!(out.at_root[1][0].payload, 2);
+    }
+
+    use congest_graph::Graph;
+}

@@ -1,0 +1,114 @@
+//! A node's initial local knowledge: the [`LocalView`].
+//!
+//! CONGEST nodes initially know only their own ID, their incident edges (with weights),
+//! the number of nodes `n` (which the paper's preprocessing always establishes first),
+//! and a private random seed. `LocalView` exposes exactly that — algorithms written
+//! against it cannot accidentally peek at remote state.
+
+use congest_graph::{EdgeId, Graph, NodeId};
+
+/// What one node knows at initialization time.
+#[derive(Clone, Copy)]
+pub struct LocalView<'a> {
+    graph: &'a Graph,
+    weights: Option<&'a [u64]>,
+    node: NodeId,
+    seed: u64,
+}
+
+impl<'a> LocalView<'a> {
+    /// Creates the view of `node`. `seed` is this node's private random stream.
+    pub fn new(graph: &'a Graph, weights: Option<&'a [u64]>, node: NodeId, seed: u64) -> Self {
+        if let Some(w) = weights {
+            debug_assert_eq!(w.len(), graph.m(), "weights must cover all edges");
+        }
+        Self {
+            graph,
+            weights,
+            node,
+            seed,
+        }
+    }
+
+    /// This node's ID.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The number of nodes in the network (global knowledge established by
+    /// preprocessing, as in §2.2 step 1).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// This node's degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// This node's neighbors, sorted by ID.
+    #[inline]
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// Incident `(edge, neighbor, weight)` triples; weight is 1 on unweighted graphs.
+    pub fn incident(&self) -> impl Iterator<Item = (EdgeId, NodeId, u64)> + 'a {
+        let weights = self.weights;
+        self.graph
+            .incident(self.node)
+            .map(move |(e, u)| (e, u, weights.map_or(1, |w| w[e.index()])))
+    }
+
+    /// This node's private random seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Size of this node's input in words (its incident edge list plus O(1)): the
+    /// quantity the paper calls `in(v)` when bounding `I_n`.
+    pub fn input_words(&self) -> usize {
+        self.degree() + 1
+    }
+}
+
+impl std::fmt::Debug for LocalView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LocalView(node={:?}, deg={})", self.node, self.degree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn exposes_local_info_only() {
+        let g = generators::star(5);
+        let view = LocalView::new(&g, None, NodeId::new(0), 7);
+        assert_eq!(view.degree(), 4);
+        assert_eq!(view.n(), 5);
+        assert_eq!(view.seed(), 7);
+        assert_eq!(view.input_words(), 5);
+        let leaf = LocalView::new(&g, None, NodeId::new(3), 8);
+        assert_eq!(leaf.neighbors(), &[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn weights_default_to_one() {
+        let g = generators::path(3);
+        let v = LocalView::new(&g, None, NodeId::new(1), 0);
+        let ws: Vec<u64> = v.incident().map(|(_, _, w)| w).collect();
+        assert_eq!(ws, vec![1, 1]);
+        let weights = vec![5, 9];
+        let v = LocalView::new(&g, Some(&weights), NodeId::new(1), 0);
+        let mut ws: Vec<u64> = v.incident().map(|(_, _, w)| w).collect();
+        ws.sort_unstable();
+        assert_eq!(ws, vec![5, 9]);
+    }
+}

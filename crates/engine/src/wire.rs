@@ -1,0 +1,67 @@
+//! Message-size accounting.
+//!
+//! The CONGEST model allows `O(log n)` bits per edge per round. We account sizes in
+//! *words*: one word = one `O(log n)`-bit message (a constant number of IDs/values).
+//! A payload of `k` words costs `k` messages per edge it crosses — exactly the paper's
+//! accounting in Lemmas 1.5/1.6 (`I_n / log n` messages for `I_n` bits of input) and in
+//! the "Õ(1)-bit aggregate packets cost logarithmically many messages" remark of §3.
+
+use std::fmt;
+
+/// Types that can be sent as CONGEST messages, with an explicit size in words.
+///
+/// The default size is one word, which is correct for anything encodable as a constant
+/// number of node IDs / integer values. Composite payloads override [`Wire::words`].
+pub trait Wire: Clone + fmt::Debug + PartialEq {
+    /// Size of this payload in `O(log n)`-bit words (i.e., in CONGEST messages).
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for u32 {}
+impl Wire for u64 {}
+impl Wire for i64 {}
+impl Wire for usize {}
+impl Wire for (u32, u32) {}
+impl Wire for (u64, u64) {}
+impl Wire for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(Wire::words).sum::<usize>().max(1)
+    }
+}
+
+impl Wire for congest_graph::NodeId {}
+impl Wire for congest_graph::EdgeId {}
+impl Wire for congest_graph::ClusterId {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!((3u32, 4u32).words(), 1);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn vec_sizes() {
+        assert_eq!(vec![1u64, 2, 3].words(), 3);
+        assert_eq!(Vec::<u64>::new().words(), 1); // even an empty payload costs a message
+    }
+
+    #[test]
+    fn id_pairs_fit_in_a_word() {
+        // A constant number of IDs fits in one O(log n)-bit message.
+        assert_eq!((1u32, 2u32).words(), 1);
+        assert_eq!((1u64, 2u64).words(), 1);
+    }
+}

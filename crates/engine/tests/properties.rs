@@ -1,0 +1,97 @@
+//! Property-based tests for the execution engine: routing always delivers, tree
+//! operations deliver everything exactly once, capacity is respected, and the
+//! accounting invariants hold for arbitrary inputs.
+
+use congest_engine::{downcast, router, treeops::Forest, upcast};
+use congest_graph::{generators, reference, NodeId};
+use proptest::prelude::*;
+
+fn bfs_forest(g: &congest_graph::Graph, root: usize) -> Forest {
+    let parents = reference::bfs_tree(g, NodeId::new(root));
+    Forest::from_parents(g, parents).expect("BFS tree is a forest")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn router_delivers_every_task(seed in 0u64..200, k in 1usize..12) {
+        let g = generators::gnp_connected(16, 0.2, seed);
+        let dist = reference::bfs_distances(&g, NodeId::new(0));
+        // Tasks: route from node 0 to k random-ish targets along BFS paths.
+        let parents = reference::bfs_tree(&g, NodeId::new(0));
+        let mut tasks = Vec::new();
+        for i in 0..k {
+            let target = NodeId::new((i * 5 + 3) % g.n());
+            let mut path = router::path_to_root(&parents, target);
+            path.reverse();
+            tasks.push(router::RouteTask { path, words: 1 + i % 3 });
+        }
+        let report = router::route(&g, &tasks).unwrap();
+        // Everything arrives, messages = Σ words · pathlen.
+        let want: usize = tasks
+            .iter()
+            .map(|t| t.words * t.path.len().saturating_sub(1))
+            .sum();
+        prop_assert_eq!(report.metrics.messages as usize, want);
+        for (i, t) in tasks.iter().enumerate() {
+            let hops = t.path.len().saturating_sub(1) as u64;
+            prop_assert!(report.completion_round[i] >= hops.min(1) * u64::from(hops > 0));
+        }
+        let _ = dist;
+    }
+
+    #[test]
+    fn router_respects_capacity_via_lower_bound(seed in 0u64..100, k in 2usize..10) {
+        // k one-word packets over the same single edge must take >= k rounds.
+        let g = generators::path(2);
+        let t = router::RouteTask {
+            path: vec![NodeId::new(0), NodeId::new(1)],
+            words: 1,
+        };
+        let tasks = vec![t; k];
+        let report = router::route(&g, &tasks).unwrap();
+        prop_assert_eq!(report.metrics.rounds, k as u64);
+        let _ = seed;
+    }
+
+    #[test]
+    fn upcast_delivers_all_items_once(seed in 0u64..100) {
+        let g = generators::gnp_connected(20, 0.2, seed);
+        let f = bfs_forest(&g, 0);
+        let items: Vec<(NodeId, u64)> = g.nodes().map(|v| (v, v.index() as u64)).collect();
+        let out = upcast(&g, &f, items).unwrap();
+        let mut got: Vec<u64> = out.at_root[0].iter().map(|d| d.payload).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..g.n() as u64).collect();
+        prop_assert_eq!(got, want);
+        // Messages = Σ depths.
+        let depths: u64 = g.nodes().map(|v| u64::from(f.depth_of(v))).sum();
+        prop_assert_eq!(out.metrics.messages, depths);
+    }
+
+    #[test]
+    fn downcast_reaches_exact_destinations(seed in 0u64..100, k in 1usize..20) {
+        let g = generators::gnp_connected(18, 0.25, seed);
+        let f = bfs_forest(&g, 0);
+        let items: Vec<(NodeId, u64)> =
+            (0..k).map(|i| (NodeId::new((i * 7 + 1) % g.n()), i as u64)).collect();
+        let out = downcast(&g, &f, items.clone()).unwrap();
+        for (dest, payload) in items {
+            prop_assert!(out.at_node[dest.index()].contains(&payload));
+        }
+        let total: usize = out.at_node.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, k);
+    }
+
+    #[test]
+    fn upcast_rounds_within_lemma_1_5(seed in 0u64..60) {
+        // Lemma 1.5: O(In/log n) rounds = O(#words) with our unit-word accounting.
+        let g = generators::gnp_connected(16, 0.3, seed);
+        let f = bfs_forest(&g, 0);
+        let items: Vec<(NodeId, u64)> = g.nodes().map(|v| (v, 1u64)).collect();
+        let out = upcast(&g, &f, items).unwrap();
+        let in_words = g.n() as u64;
+        prop_assert!(out.metrics.rounds <= in_words + u64::from(f.depth()));
+    }
+}

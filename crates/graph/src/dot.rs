@@ -1,0 +1,123 @@
+//! GraphViz DOT export, with optional cluster coloring — used to reproduce the paper's
+//! Figure 1 (an LDC decomposition with highlighted inter-cluster communication edges).
+
+use crate::ids::EdgeId;
+use crate::Graph;
+use std::fmt::Write as _;
+
+/// Styling of one edge in [`to_dot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EdgeStyle {
+    /// Normal edge.
+    #[default]
+    Plain,
+    /// Bold edge (Figure 1 uses bold for the inter-cluster edges in `F`).
+    Bold,
+    /// Dashed edge (Figure 1 uses dashed for inter-cluster edges *not* in `F`).
+    Dashed,
+}
+
+/// Options for DOT rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Cluster index per node; nodes sharing an index are drawn in the same color and
+    /// grouped in a GraphViz `subgraph cluster_<i>`.
+    pub cluster_of: Option<Vec<usize>>,
+    /// Per-edge styles (indexed by [`EdgeId`]); missing entries default to plain.
+    pub edge_style: Option<Vec<EdgeStyle>>,
+    /// Graph label.
+    pub label: Option<String>,
+}
+
+const PALETTE: &[&str] = &[
+    "#a6cee3", "#1f78b4", "#b2df8a", "#33a02c", "#fb9a99", "#e31a1c", "#fdbf6f", "#ff7f00",
+    "#cab2d6", "#6a3d9a", "#ffff99", "#b15928",
+];
+
+/// Renders `g` as a GraphViz DOT string.
+///
+/// # Examples
+///
+/// ```
+/// use congest_graph::{generators, dot};
+///
+/// let g = generators::cycle(4);
+/// let s = dot::to_dot(&g, &dot::DotOptions::default());
+/// assert!(s.starts_with("graph G {"));
+/// assert!(s.contains("0 -- 1"));
+/// ```
+pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("graph G {\n");
+    if let Some(label) = &opts.label {
+        let _ = writeln!(out, "  label=\"{}\";", label.replace('"', "'"));
+    }
+    out.push_str("  node [shape=circle, style=filled, fillcolor=white];\n");
+
+    if let Some(cluster_of) = &opts.cluster_of {
+        let max_cluster = cluster_of.iter().copied().max().unwrap_or(0);
+        for c in 0..=max_cluster {
+            let members: Vec<usize> = (0..g.n()).filter(|&v| cluster_of[v] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let color = PALETTE[c % PALETTE.len()];
+            let _ = writeln!(out, "  subgraph cluster_{c} {{");
+            let _ = writeln!(out, "    style=rounded; color=\"{color}\";");
+            for v in members {
+                let _ = writeln!(out, "    {v} [fillcolor=\"{color}\"];");
+            }
+            out.push_str("  }\n");
+        }
+    }
+
+    for (e, u, v) in g.edges() {
+        let style = style_for(opts, e);
+        let attr = match style {
+            EdgeStyle::Plain => "",
+            EdgeStyle::Bold => " [style=bold, penwidth=2.5]",
+            EdgeStyle::Dashed => " [style=dashed]",
+        };
+        let _ = writeln!(out, "  {} -- {}{attr};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn style_for(opts: &DotOptions, e: EdgeId) -> EdgeStyle {
+    opts.edge_style
+        .as_ref()
+        .and_then(|s| s.get(e.index()).copied())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn plain_render() {
+        let g = generators::path(3);
+        let s = to_dot(&g, &DotOptions::default());
+        assert!(s.contains("0 -- 1"));
+        assert!(s.contains("1 -- 2"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn clustered_render() {
+        let g = generators::cycle(4);
+        let opts = DotOptions {
+            cluster_of: Some(vec![0, 0, 1, 1]),
+            edge_style: Some(vec![EdgeStyle::Bold, EdgeStyle::Plain, EdgeStyle::Dashed]),
+            label: Some("figure 1".into()),
+        };
+        let s = to_dot(&g, &opts);
+        assert!(s.contains("subgraph cluster_0"));
+        assert!(s.contains("subgraph cluster_1"));
+        assert!(s.contains("style=bold"));
+        assert!(s.contains("style=dashed"));
+        assert!(s.contains("label=\"figure 1\""));
+    }
+}

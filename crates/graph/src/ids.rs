@@ -1,0 +1,122 @@
+//! Strongly-typed identifiers for nodes, edges and clusters.
+//!
+//! All identifiers are thin `u32` newtypes (graphs in this workspace are well below the
+//! 4-billion-node mark) that exist to prevent the classic index-confusion bugs between
+//! node indices, edge indices and cluster indices — see C-NEWTYPE in the Rust API
+//! guidelines.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize, "id out of range");
+                Self(index as u32)
+            }
+
+            /// Returns the identifier as a `usize` index, suitable for slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a node (vertex) of the communication graph.
+    ///
+    /// In the CONGEST model every node has a unique ID from a polynomial-size space; we use
+    /// the dense range `0..n`, which is what the paper's renaming step (before Lemma 3.22)
+    /// produces anyway.
+    NodeId,
+    "v"
+);
+id_type!(
+    /// Identifier of an undirected edge of the communication graph.
+    ///
+    /// Edges are stored once (with canonical `u < v` endpoint order); both directions share
+    /// the same `EdgeId`. Per-direction accounting is handled by the engine.
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// Identifier of a cluster within one clustering (one level of a hierarchy, or one MPX
+    /// decomposition).
+    ClusterId,
+    "C"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = NodeId::new(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(v.raw(), 17);
+        assert_eq!(NodeId::from(17u32), v);
+        assert_eq!(u32::from(v), 17);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(2) < NodeId::new(10));
+        assert!(EdgeId::new(0) < EdgeId::new(1));
+    }
+
+    #[test]
+    fn debug_display_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "v3");
+        assert_eq!(format!("{}", NodeId::new(3)), "3");
+        assert_eq!(format!("{:?}", EdgeId::new(4)), "e4");
+        assert_eq!(format!("{:?}", ClusterId::new(5)), "C5");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default().index(), 0);
+    }
+}

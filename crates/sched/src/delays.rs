@@ -1,0 +1,94 @@
+//! Random start delays (Theorem 1.4) and the accounted implementation of shared
+//! randomness.
+//!
+//! The paper implements shared randomness by having the leader generate
+//! `Θ(n log n)` random bits and pipeline them down a BFS tree (`Õ(n)` rounds,
+//! `Õ(n²)` messages, described just before Lemma 3.22). We model the same thing:
+//! [`shared_randomness`] returns both the seed every node would hold and the exact
+//! cost of the distribution schedule.
+
+use congest_engine::{Forest, Metrics};
+use congest_graph::{rng, Graph};
+use rand::Rng;
+
+/// Uniform random delays in `[0, range)` for `l` algorithms (Theorem 1.4's shared
+/// random choices; every node derives the same vector from the shared seed).
+pub fn random_delays(shared_seed: u64, l: usize, range: usize) -> Vec<usize> {
+    let mut r = rng::seeded(rng::derive(shared_seed, 0xde1a_5002));
+    (0..l).map(|_| r.random_range(0..range.max(1))).collect()
+}
+
+/// The product of distributing shared randomness over a BFS tree.
+#[derive(Clone, Debug)]
+pub struct SharedRandomness {
+    /// The seed every node now holds (stands in for the `Θ(n log n)` shared bits).
+    pub seed: u64,
+    /// Exact cost of pipelining `words` words from the root to all nodes.
+    pub metrics: Metrics,
+}
+
+/// Distributes `words` words of shared randomness from the root of `tree` to every
+/// node: each tree edge forwards the whole string, pipelined. Cost: `words + depth`
+/// rounds and `words · (#tree edges)` messages — exactly the paper's `Õ(n)` rounds /
+/// `Õ(n²)` messages when `words = Θ(n)` (the tree has `n−1` edges).
+pub fn shared_randomness(g: &Graph, tree: &Forest, words: usize, master_seed: u64) -> SharedRandomness {
+    let mut metrics = Metrics::new(g.m());
+    metrics.rounds = words as u64 + u64::from(tree.depth());
+    for &e in tree.tree_edges() {
+        metrics.add_messages(e, words as u64);
+    }
+    SharedRandomness {
+        seed: rng::derive(master_seed, 0x5a5a_0001),
+        metrics,
+    }
+}
+
+/// The paper's choice of `Θ(n log n)` shared bits, in words (`Θ(n)`).
+pub fn paper_shared_words(n: usize) -> usize {
+    n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_algos::leader::setup_network;
+    use congest_graph::generators;
+
+    #[test]
+    fn delays_deterministic_and_in_range() {
+        let a = random_delays(7, 20, 10);
+        let b = random_delays(7, 20, 10);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&d| d < 10));
+        let c = random_delays(8, 20, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_range_is_safe() {
+        let d = random_delays(1, 5, 0);
+        assert!(d.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn shared_randomness_cost_shape() {
+        let g = generators::gnp_connected(30, 0.15, 3);
+        let setup = setup_network(&g, 3).unwrap();
+        let sr = shared_randomness(&g, &setup.tree, paper_shared_words(g.n()), 3);
+        // words + depth rounds; words per tree edge.
+        assert_eq!(
+            sr.metrics.rounds,
+            g.n() as u64 + u64::from(setup.tree.depth())
+        );
+        assert_eq!(sr.metrics.messages, (g.n() as u64) * (g.n() as u64 - 1));
+    }
+
+    #[test]
+    fn same_master_seed_same_shared_seed() {
+        let g = generators::path(5);
+        let setup = setup_network(&g, 1).unwrap();
+        let a = shared_randomness(&g, &setup.tree, 5, 42);
+        let b = shared_randomness(&g, &setup.tree, 5, 42);
+        assert_eq!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,16 @@
+//! # congest-sched
+//!
+//! Scheduling machinery for the CONGEST APSP reproduction:
+//!
+//! * [`delays`] — random start delays (Theorem 1.4) and the accounted distribution
+//!   of shared randomness over a BFS tree (the implementation described before
+//!   Lemma 3.22);
+//! * [`compose`] — the congestion+dilation framework (Theorem 1.3): a real greedy
+//!   co-scheduler for recorded traces, plus Theorem-1.3 accounting over measured
+//!   executions.
+
+pub mod compose;
+pub mod delays;
+
+pub use compose::{compose_measured, compose_traces, record_bcongest_trace, Composed, Trace};
+pub use delays::{paper_shared_words, random_delays, shared_randomness, SharedRandomness};

@@ -1,0 +1,95 @@
+//! A tour of the decompositions, ending in the paper's Figure 1.
+//!
+//! Builds an LDC decomposition (Definition 2.3) of a small graph, prints its
+//! quality parameters, builds a Baswana–Sen hierarchy with its pruning and spanner
+//! by-product, and writes `figure1.dot` — the paper's Figure 1: clusters colored,
+//! inter-cluster communication edges `F` bold, other inter-cluster edges dashed.
+//!
+//! Run: `cargo run --release --example decomposition_tour`
+//! Render: `dot -Tpng figure1.dot -o figure1.png`
+
+use congest_apsp::decomp::baswana_sen::validate_hierarchy;
+use congest_apsp::decomp::ldc::{build_ldc, validate_ldc};
+use congest_apsp::decomp::pruning::{max_proper_subtree, prune};
+use congest_apsp::decomp::spanner::{measured_stretch, spanner_edges};
+use congest_apsp::decomp::Hierarchy;
+use congest_apsp::graph::dot::{to_dot, DotOptions, EdgeStyle};
+use congest_apsp::graph::generators;
+
+fn main() {
+    let seed = 5;
+    let g = generators::caveman(4, 6);
+    println!("graph: n = {}, m = {} (caveman: 4 cliques of 6)\n", g.n(), g.m());
+
+    // ---- LDC decomposition (Lemma 2.4) ----
+    let ldc = build_ldc(&g, seed).expect("LDC");
+    let lnn = (g.n() as f64).ln();
+    println!("LDC decomposition (Definition 2.3):");
+    println!("  clusters:        {}", ldc.clustering.len());
+    println!(
+        "  strong radius r: {} (bound O(log n); ln n = {:.1})",
+        ldc.strong_radius(&g),
+        lnn
+    );
+    println!(
+        "  max F-degree d:  {} (bound O(log n))",
+        ldc.max_f_degree()
+    );
+    validate_ldc(&g, &ldc, 7 * lnn.ceil() as u32, 8 * lnn.ceil() as usize)
+        .expect("Definition 2.3 holds");
+    println!("  validator:       both properties hold\n");
+
+    // ---- Figure 1 ----
+    let cluster_of: Vec<usize> = (0..g.n())
+        .map(|v| ldc.clustering.cluster_of[v].index())
+        .collect();
+    let mut styles = vec![EdgeStyle::Plain; g.m()];
+    for (e, u, v) in g.edges() {
+        if ldc.clustering.cluster_of[u.index()] != ldc.clustering.cluster_of[v.index()] {
+            styles[e.index()] = EdgeStyle::Dashed; // inter-cluster, not in F
+        }
+    }
+    for f in ldc.all_f_edges() {
+        styles[f.edge.index()] = EdgeStyle::Bold; // the sparse communication set F
+    }
+    let dot = to_dot(
+        &g,
+        &DotOptions {
+            cluster_of: Some(cluster_of),
+            edge_style: Some(styles),
+            label: Some("Figure 1: (r,d)-LDC decomposition — bold = F, dashed = other inter-cluster".into()),
+        },
+    );
+    std::fs::write("figure1.dot", &dot).expect("write figure1.dot");
+    println!("wrote figure1.dot (render with: dot -Tpng figure1.dot -o figure1.png)\n");
+
+    // ---- Baswana–Sen hierarchy + pruning + spanner (§3.1) ----
+    for eps in [0.5, 0.34] {
+        let h = Hierarchy::build(&g, eps, seed);
+        validate_hierarchy(&g, &h).expect("Theorem 3.3 properties");
+        let p = prune(&g, &h);
+        let threshold = (g.n() as f64).powf(1.0 - eps);
+        println!("Baswana–Sen hierarchy, ε = {eps} (κ = {}):", h.kappa);
+        for lvl in &h.levels {
+            println!(
+                "  level {}: {} clusters, {} drop-outs, {} F-edges",
+                lvl.index,
+                lvl.clusters.len(),
+                lvl.l_nodes.len(),
+                lvl.f_edges.len()
+            );
+        }
+        println!(
+            "  pruning: max proper subtree {} (bound n^(1-ε) = {:.1})",
+            max_proper_subtree(&g, &p),
+            threshold
+        );
+        println!(
+            "  spanner: {} of {} edges, measured stretch {:.2} (bound 2κ-1 = {})\n",
+            spanner_edges(&g, &h).len(),
+            g.m(),
+            measured_stretch(&g, &h, 8, seed),
+            2 * h.kappa - 1
+        );
+    }
+}

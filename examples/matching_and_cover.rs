@@ -1,0 +1,55 @@
+//! The "and Beyond" of the paper's title: Corollaries 2.8 and 2.9.
+//!
+//! Runs the message-optimal exact bipartite maximum matching (Ahmadi–Kuhn–Oshman
+//! through Theorem 2.1) and a `(k, W)`-sparse neighborhood cover, verifying both.
+//!
+//! Run: `cargo run --release --example matching_and_cover`
+
+use congest_apsp::apsp_core::cover::sparse_neighborhood_cover;
+use congest_apsp::apsp_core::matching::{
+    bipartite_maximum_matching, bipartite_maximum_matching_direct,
+};
+use congest_apsp::apsp_core::verify::check_maximum_matching;
+use congest_apsp::graph::{generators, reference};
+
+fn main() {
+    let seed = 3;
+
+    // ---- Corollary 2.8: exact bipartite maximum matching ----
+    let g = generators::random_bipartite_connected(10, 12, 0.3, seed);
+    println!(
+        "bipartite graph: {}+{} nodes, m = {}",
+        10,
+        12,
+        g.m()
+    );
+    let sim = bipartite_maximum_matching(&g, seed).expect("matching (simulated)");
+    let direct = bipartite_maximum_matching_direct(&g, seed).expect("matching (direct)");
+    check_maximum_matching(&g, &sim.pairs).expect("maximum matching");
+    assert_eq!(sim.partner, direct.partner, "simulation is exact");
+    println!(
+        "maximum matching: |M| = {} (Hopcroft–Karp agrees: {})",
+        sim.pairs.len(),
+        reference::hopcroft_karp(&g).unwrap()
+    );
+    println!("matched pairs: {:?}", sim.pairs);
+    println!(
+        "cost: simulated {} msgs / {} rounds; direct {} msgs / {} rounds\n",
+        sim.metrics.messages, sim.metrics.rounds, direct.metrics.messages, direct.metrics.rounds
+    );
+
+    // ---- Corollary 2.9: (k, W)-sparse neighborhood cover ----
+    let g2 = generators::grid(6, 5);
+    let (k, w) = (2, 2);
+    println!("cover graph: 6×5 grid, (k, W) = ({k}, {w})");
+    let cover = sparse_neighborhood_cover(&g2, k, w, Some(40), seed).expect("cover");
+    let (depth, trees) = cover.validate(&g2).expect("cover properties");
+    println!(
+        "cover: {} trees per node, max depth {} — every node's {w}-ball lies inside some tree",
+        trees, depth
+    );
+    println!(
+        "cost: {} msgs / {} rounds ({} simulated broadcasts)",
+        cover.metrics.messages, cover.metrics.rounds, cover.simulated_broadcasts
+    );
+}

@@ -1,0 +1,41 @@
+//! The Theorem 1.2 message-time trade-off, swept over ε.
+//!
+//! For each ε ∈ {0, ¼, ½, ¾, 1} solves exact unweighted APSP on the same graph,
+//! verifies against sequential BFS, and prints the realized (rounds, messages)
+//! frontier together with which machinery served each point.
+//!
+//! Run: `cargo run --release --example tradeoff_sweep`
+
+use congest_apsp::apsp_core::tradeoff::tradeoff_apsp;
+use congest_apsp::apsp_core::verify::check_unweighted_apsp;
+use congest_apsp::graph::generators;
+
+fn main() {
+    let n = 28;
+    let seed = 11;
+    let g = generators::gnp_connected(n, 0.3, seed);
+    println!("graph: n = {}, m = {}\n", g.n(), g.m());
+    println!("  ε     route                    rounds    messages");
+
+    let mut prev: Option<(u64, u64)> = None;
+    for eps in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let res = tradeoff_apsp(&g, eps, seed).expect("tradeoff APSP");
+        check_unweighted_apsp(&g, &res.dist).expect("exact");
+        println!(
+            "  {:.2}  {:<24} {:>7}  {:>10}",
+            eps,
+            format!("{:?}", res.route),
+            res.metrics.rounds,
+            res.metrics.messages
+        );
+        prev = Some((res.metrics.rounds, res.metrics.messages));
+    }
+    let _ = prev;
+
+    println!(
+        "\nevery row solved the same exact APSP instance; moving down the table trades\n\
+         messages for rounds (paper: Õ(n^(2-ε)) rounds, Õ(n^(2+ε)) messages).\n\
+         At laptop-scale n the middle regime carries visible additive polylog overheads\n\
+         (ensembles + per-batch shared randomness); the endpoints show the asymptotic gap."
+    );
+}

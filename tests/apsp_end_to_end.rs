@@ -1,0 +1,89 @@
+//! End-to-end APSP correctness: Theorem 1.1 (weighted) and Theorem 1.2 (the whole
+//! trade-off) against sequential oracles, across graph families.
+
+use congest_apsp::apsp_core::tradeoff::{tradeoff_apsp, Route};
+use congest_apsp::apsp_core::verify::{check_unweighted_apsp, check_weighted_apsp};
+use congest_apsp::apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
+use congest_apsp::graph::{generators, WeightedGraph};
+
+#[test]
+fn weighted_apsp_across_families() {
+    for (i, g) in [
+        generators::gnp_connected(18, 0.2, 1),
+        generators::grid(4, 4),
+        generators::caveman(3, 5),
+        generators::barbell(6, 4),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let wg = WeightedGraph::random_weights(g, 1..=9, i as u64);
+        let res = weighted_apsp(
+            &wg,
+            &WeightedApspConfig {
+                seed: 100 + i as u64,
+                ..Default::default()
+            },
+        )
+        .expect("weighted APSP");
+        check_weighted_apsp(&wg, &res.distances).expect("exact");
+    }
+}
+
+#[test]
+fn weighted_apsp_with_unit_and_zero_weights() {
+    let g = generators::gnp_connected(16, 0.25, 2);
+    let unit = WeightedGraph::unit(&g);
+    let res = weighted_apsp(&unit, &WeightedApspConfig::default()).expect("unit");
+    check_weighted_apsp(&unit, &res.distances).expect("unit exact");
+
+    let zeros = WeightedGraph::random_weights(&g, 0..=3, 5);
+    let res = weighted_apsp(&zeros, &WeightedApspConfig::default()).expect("zeros");
+    check_weighted_apsp(&zeros, &res.distances).expect("zeros exact");
+}
+
+#[test]
+fn tradeoff_every_route_on_random_graphs() {
+    for seed in 0..2u64 {
+        let g = generators::gnp_connected(22, 0.2, seed);
+        for eps in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            let res = tradeoff_apsp(&g, eps, 7 + seed).expect("tradeoff");
+            check_unweighted_apsp(&g, &res.dist)
+                .unwrap_or_else(|e| panic!("eps {eps}, seed {seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn tradeoff_on_high_diameter_graphs() {
+    // Path/grid stress the landmark machinery (many far pairs).
+    for (i, g) in [generators::path(24), generators::grid(6, 4)].iter().enumerate() {
+        for eps in [0.4, 0.75] {
+            let res = tradeoff_apsp(g, eps, 13 + i as u64).expect("tradeoff");
+            check_unweighted_apsp(g, &res.dist)
+                .unwrap_or_else(|e| panic!("family {i}, eps {eps}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn tradeoff_routes_dispatch_correctly() {
+    let g = generators::gnp_connected(20, 0.25, 3);
+    assert_eq!(
+        tradeoff_apsp(&g, 0.0, 1).unwrap().route,
+        Route::MessageOptimal
+    );
+    assert_eq!(
+        tradeoff_apsp(&g, 0.3, 1).unwrap().route,
+        Route::BatchedPlusLandmarks
+    );
+    assert_eq!(tradeoff_apsp(&g, 0.9, 1).unwrap().route, Route::StarDirect);
+}
+
+#[test]
+fn tradeoff_endpoints_show_the_tradeoff_shape() {
+    let g = generators::gnp_connected(26, 0.3, 4);
+    let msg_optimal = tradeoff_apsp(&g, 0.0, 2).unwrap();
+    let round_optimal = tradeoff_apsp(&g, 1.0, 2).unwrap();
+    assert!(round_optimal.metrics.rounds < msg_optimal.metrics.rounds);
+}

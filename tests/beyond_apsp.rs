@@ -1,0 +1,81 @@
+//! The "Beyond" applications end-to-end: Corollary 2.8 (matching), Corollary 2.9
+//! (covers), and the spanner/hierarchy substrate properties, all via the public API.
+
+use congest_apsp::apsp_core::cover::sparse_neighborhood_cover;
+use congest_apsp::apsp_core::matching::bipartite_maximum_matching;
+use congest_apsp::apsp_core::verify::check_maximum_matching;
+use congest_apsp::decomp::baswana_sen::validate_hierarchy;
+use congest_apsp::decomp::pruning::{max_proper_subtree, prune};
+use congest_apsp::decomp::spanner::measured_stretch;
+use congest_apsp::decomp::{Ensemble, Hierarchy};
+use congest_apsp::graph::generators;
+
+#[test]
+fn matching_is_maximum_across_instances() {
+    for seed in 0..3u64 {
+        let g = generators::random_bipartite_connected(6, 8, 0.35, seed);
+        let res = bipartite_maximum_matching(&g, 30 + seed).expect("matching");
+        check_maximum_matching(&g, &res.pairs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn matching_on_structured_bipartite_graphs() {
+    for g in [
+        generators::cycle(10),
+        generators::grid(4, 3),
+        generators::binary_tree(10),
+        generators::star(9),
+    ] {
+        let res = bipartite_maximum_matching(&g, 9).expect("matching");
+        check_maximum_matching(&g, &res.pairs).expect("maximum");
+    }
+}
+
+#[test]
+fn covers_are_valid_and_message_efficient() {
+    let g = generators::gnp_connected(22, 0.2, 5);
+    let res = sparse_neighborhood_cover(&g, 2, 2, Some(30), 5).expect("cover");
+    let (depth, trees) = res.validate(&g).expect("cover properties");
+    assert_eq!(trees, 30);
+    // Depth stays Õ(kW): generous constant check.
+    let bound = (3.0 * 2.0 * 2.0 * (g.n() as f64).ln() * 3.0) as u32;
+    assert!(depth <= bound, "depth {depth} > {bound}");
+}
+
+#[test]
+fn hierarchy_ensemble_pipeline_holds_properties() {
+    let g = generators::gnp_connected(36, 0.15, 6);
+    let eps = 0.5;
+    let ens = Ensemble::build(&g, eps, 4, 6);
+    let bound = (g.n() as f64).powf(1.0 - eps).ceil() as usize;
+    for h in &ens.hierarchies {
+        validate_hierarchy(&g, h).expect("Theorem 3.3 (pruned)");
+        assert!(max_proper_subtree(&g, h) < bound.max(2), "Corollary 3.5");
+        let s = measured_stretch(&g, h, 6, 1);
+        assert!(s <= (2 * h.kappa - 1) as f64 + 1e-9, "spanner stretch");
+    }
+}
+
+#[test]
+fn hierarchies_work_on_every_family() {
+    for (i, g) in [
+        generators::path(20),
+        generators::star(16),
+        generators::complete(16),
+        generators::barbell(6, 3),
+        generators::sparse_bridge(6, 4),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for &eps in &[0.34, 0.5, 1.0] {
+            let h = Hierarchy::build(g, eps, 70 + i as u64);
+            validate_hierarchy(g, &h)
+                .unwrap_or_else(|e| panic!("family {i}, eps {eps}: {e}"));
+            let p = prune(g, &h);
+            validate_hierarchy(g, &p)
+                .unwrap_or_else(|e| panic!("pruned family {i}, eps {eps}: {e}"));
+        }
+    }
+}

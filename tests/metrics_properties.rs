@@ -1,0 +1,83 @@
+//! Property-based cross-crate tests: accounting invariants that must hold for every
+//! execution (message totals equal congestion sums; simulations never lose or
+//! invent simulated broadcasts; costs compose sanely).
+
+use congest_apsp::algos::bfs::Bfs;
+use congest_apsp::algos::bfs_collection::BfsCollection;
+use congest_apsp::apsp_core::simulate::{simulate_bcongest_via_ldc, LdcSimOptions};
+use congest_apsp::engine::{run_bcongest, RunOptions};
+use congest_apsp::graph::{generators, reference, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn direct_run_messages_equal_congestion_sum(seed in 0u64..200, n in 12usize..40) {
+        let g = generators::gnp_connected(n, 0.15, seed);
+        let run = run_bcongest(
+            &Bfs::new(NodeId::new(seed as usize % n)),
+            &g,
+            None,
+            &RunOptions { seed, ..Default::default() },
+        ).unwrap();
+        let sum: u64 = run.metrics.congestion().iter().sum();
+        prop_assert_eq!(run.metrics.messages, sum);
+        // BFS: messages = Σ deg over broadcasters = 2m when everyone broadcasts.
+        prop_assert!(run.metrics.messages <= 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn simulation_messages_equal_congestion_sum(seed in 0u64..100) {
+        let g = generators::gnp_connected(18, 0.2, seed);
+        let sim = simulate_bcongest_via_ldc(
+            &Bfs::new(NodeId::new(0)),
+            &g,
+            None,
+            &LdcSimOptions { seed, ..Default::default() },
+        ).unwrap();
+        let sum: u64 = sim.metrics.congestion().iter().sum();
+        prop_assert_eq!(sim.metrics.messages, sum);
+        prop_assert!(sim.metrics.messages >= sim.preprocessing.messages);
+    }
+
+    #[test]
+    fn simulated_broadcast_complexity_matches_direct(seed in 0u64..60) {
+        let g = generators::gnp_connected(16, 0.25, seed);
+        let algo = BfsCollection::new(g.nodes().collect());
+        let direct = run_bcongest(&algo, &g, None, &RunOptions { seed, ..Default::default() })
+            .unwrap();
+        let sim = simulate_bcongest_via_ldc(
+            &algo, &g, None, &LdcSimOptions { seed, ..Default::default() },
+        ).unwrap();
+        prop_assert_eq!(sim.simulated_broadcasts, direct.metrics.broadcasts);
+        prop_assert_eq!(&sim.outputs, &direct.outputs);
+    }
+
+    #[test]
+    fn bfs_collection_outputs_are_exact_apsp(seed in 0u64..60) {
+        let g = generators::gnp_connected(20, 0.18, seed);
+        let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(seed);
+        let run = run_bcongest(&algo, &g, None, &RunOptions { seed, ..Default::default() })
+            .unwrap();
+        let want = reference::all_pairs_bfs(&g);
+        for v in 0..g.n() {
+            for s in 0..g.n() {
+                prop_assert_eq!(run.outputs[v].entries[s].dist, want[s][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_and_messages_are_monotone_in_depth_limit(seed in 0u64..40) {
+        let g = generators::gnp_connected(20, 0.2, seed);
+        let short = BfsCollection::new(g.nodes().collect()).with_depth_limit(2);
+        let long = BfsCollection::new(g.nodes().collect()).with_depth_limit(8);
+        let a = run_bcongest(&short, &g, None, &RunOptions { seed, ..Default::default() })
+            .unwrap();
+        let b = run_bcongest(&long, &g, None, &RunOptions { seed, ..Default::default() })
+            .unwrap();
+        prop_assert!(a.metrics.broadcasts <= b.metrics.broadcasts);
+        prop_assert!(a.metrics.messages <= b.metrics.messages);
+    }
+}

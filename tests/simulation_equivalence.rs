@@ -1,0 +1,198 @@
+//! The strongest correctness statement in the repo: for every payload algorithm,
+//! every simulation theorem, and many (graph, seed) pairs, the simulated execution
+//! produces outputs **identical** to the direct BCONGEST execution with the same
+//! seed — the executable form of Lemmas 2.5, 3.14 and 3.20.
+
+use congest_apsp::algos::apsp_weighted::WeightedApsp;
+use congest_apsp::algos::bfs::Bfs;
+use congest_apsp::algos::bfs_collection::BfsCollection;
+use congest_apsp::algos::matching_bipartite::BipartiteMatching;
+use congest_apsp::algos::mis::LubyMis;
+use congest_apsp::apsp_core::simulate::{
+    simulate_aggregation_general, simulate_aggregation_star, simulate_bcongest_via_ldc,
+    AggSimOptions, LdcSimOptions,
+};
+use congest_apsp::decomp::pruning::prune;
+use congest_apsp::decomp::Hierarchy;
+use congest_apsp::engine::{run_bcongest, BcongestAlgorithm, RunOptions};
+use congest_apsp::graph::{generators, Graph, NodeId, WeightedGraph};
+
+fn direct<A: BcongestAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    seed: u64,
+) -> Vec<A::Output> {
+    run_bcongest(
+        algo,
+        g,
+        weights,
+        &RunOptions {
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("direct run")
+    .outputs
+}
+
+fn via_ldc<A: BcongestAlgorithm>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    seed: u64,
+) -> Vec<A::Output> {
+    simulate_bcongest_via_ldc(
+        algo,
+        g,
+        weights,
+        &LdcSimOptions {
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("ldc simulation")
+    .outputs
+}
+
+#[test]
+fn theorem_2_1_bfs_across_families_and_seeds() {
+    for (i, g) in [
+        generators::gnp_connected(26, 0.15, 1),
+        generators::grid(5, 5),
+        generators::caveman(4, 6),
+        generators::complete(18),
+        generators::path(24),
+        generators::star(20),
+        generators::barbell(8, 5),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for seed in [3u64, 17] {
+            let algo = Bfs::new(NodeId::new(i % g.n()));
+            assert_eq!(
+                via_ldc(&algo, g, None, seed),
+                direct(&algo, g, None, seed),
+                "family {i}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_2_1_weighted_apsp_payload() {
+    let g = generators::gnp_connected(16, 0.25, 2);
+    let wg = WeightedGraph::random_weights(&g, 1..=6, 2);
+    let algo = WeightedApsp::new(wg.max_weight());
+    for seed in [1u64, 9] {
+        assert_eq!(
+            via_ldc(&algo, &g, Some(wg.weights()), seed),
+            direct(&algo, &g, Some(wg.weights()), seed)
+        );
+    }
+}
+
+#[test]
+fn theorem_2_1_randomized_payloads() {
+    let g = generators::gnp_connected(20, 0.2, 3);
+    for seed in [5u64, 23] {
+        assert_eq!(via_ldc(&LubyMis, &g, None, seed), direct(&LubyMis, &g, None, seed));
+    }
+    let gb = generators::random_bipartite_connected(6, 7, 0.3, 4);
+    assert_eq!(
+        via_ldc(&BipartiteMatching, &gb, None, 7),
+        direct(&BipartiteMatching, &gb, None, 7)
+    );
+}
+
+#[test]
+fn theorem_3_9_across_epsilon_and_families() {
+    for (fi, g) in [
+        generators::gnp_connected(22, 0.18, 5),
+        generators::grid(5, 4),
+        generators::caveman(3, 6),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for &eps in &[0.34, 0.5, 1.0] {
+            let h = prune(g, &Hierarchy::build(g, eps, 40 + fi as u64));
+            let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(8);
+            let sim = simulate_aggregation_general(
+                &algo,
+                g,
+                None,
+                &h,
+                &AggSimOptions {
+                    seed: 19,
+                    ..Default::default()
+                },
+            )
+            .expect("agg simulation");
+            assert_eq!(
+                sim.outputs,
+                direct(&algo, g, None, 19),
+                "family {fi}, eps {eps}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_3_10_across_epsilon() {
+    let g = generators::gnp_connected(24, 0.2, 6);
+    for &eps in &[0.5, 0.6, 0.8, 1.0] {
+        let h = prune(&g, &Hierarchy::build(&g, eps, 50));
+        let algo = BfsCollection::new(g.nodes().collect())
+            .with_depth_limit(5)
+            .with_random_delays(3);
+        let sim = simulate_aggregation_star(
+            &algo,
+            &g,
+            None,
+            &h,
+            &AggSimOptions {
+                seed: 29,
+                ..Default::default()
+            },
+        )
+        .expect("star simulation");
+        assert_eq!(sim.outputs, direct(&algo, &g, None, 29), "eps {eps}");
+    }
+}
+
+#[test]
+fn all_three_simulations_agree_with_each_other() {
+    let g = generators::gnp_connected(20, 0.25, 8);
+    let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(1);
+    let seed = 37;
+    let a = via_ldc(&algo, &g, None, seed);
+    let h = prune(&g, &Hierarchy::build(&g, 0.5, 60));
+    let b = simulate_aggregation_general(
+        &algo,
+        &g,
+        None,
+        &h,
+        &AggSimOptions {
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("agg")
+    .outputs;
+    let c = simulate_aggregation_star(
+        &algo,
+        &g,
+        None,
+        &h,
+        &AggSimOptions {
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("star")
+    .outputs;
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
