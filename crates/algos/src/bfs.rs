@@ -191,8 +191,8 @@ mod tests {
     #[test]
     fn broadcast_complexity_is_reached_nodes() {
         let g = generators::gnp_connected(30, 0.1, 2);
-        let run = run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &RunOptions::default())
-            .unwrap();
+        let run =
+            run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &RunOptions::default()).unwrap();
         // Every node broadcasts exactly once except depth-limit leaves (none here).
         // The last BFS level does broadcast (they don't know they're last).
         assert_eq!(run.metrics.broadcasts, 30);
@@ -224,16 +224,13 @@ mod tests {
     #[test]
     fn parents_form_bfs_tree() {
         let g = generators::grid(4, 4);
-        let run = run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &RunOptions::default())
-            .unwrap();
+        let run =
+            run_bcongest(&Bfs::new(NodeId::new(0)), &g, None, &RunOptions::default()).unwrap();
         for v in g.nodes().skip(1) {
             let out = &run.outputs[v.index()];
             let p = out.parent.unwrap();
             assert!(g.has_edge(v, p));
-            assert_eq!(
-                run.outputs[p.index()].dist.unwrap() + 1,
-                out.dist.unwrap()
-            );
+            assert_eq!(run.outputs[p.index()].dist.unwrap() + 1, out.dist.unwrap());
         }
     }
 }

@@ -195,7 +195,11 @@ mod tests {
         // Messages: flooding is O(m · improvements); improvements per node are small.
         // Generous check: within 8·m·log n plus the two tree passes.
         let bound = 8 * g.m() as u64 * 6 + 2 * (g.n() as u64 - 1);
-        assert!(setup.metrics.messages <= bound, "messages = {}", setup.metrics.messages);
+        assert!(
+            setup.metrics.messages <= bound,
+            "messages = {}",
+            setup.metrics.messages
+        );
         assert!(setup.metrics.rounds >= u64::from(setup.tree.depth()));
     }
 

@@ -379,9 +379,8 @@ impl BcongestAlgorithm for BipartiteMatching {
             });
         }
         if round == sched.parent_round() {
-            return (!s.parent_announced && s.degree > 0).then(|| {
-                AkoMsg::ParentIs(s.leader_parent.unwrap_or(s.me))
-            });
+            return (!s.parent_announced && s.degree > 0)
+                .then(|| AkoMsg::ParentIs(s.leader_parent.unwrap_or(s.me)));
         }
         if round < sched.ii_end() {
             let rel = round.checked_sub(sched.ii_start())?;
@@ -628,10 +627,7 @@ impl BcongestAlgorithm for BipartiteMatching {
                 }
             }
             // The leader (root, no parent) learns s once all children reported.
-            if s.leader_parent.is_none()
-                && s.pending_children.is_empty()
-                && s.s_bound.is_none()
-            {
+            if s.leader_parent.is_none() && s.pending_children.is_empty() && s.s_bound.is_none() {
                 let own = u32::from(s.partner.is_some());
                 let total = s.child_count_sum + own;
                 s.s_bound = Some(total);
@@ -768,7 +764,11 @@ fn receive_explore(s: &mut AkoState, round: usize, sorted: &[&(NodeId, AkoMsg)])
         .then_some(())
         .and(s.scratch.wave_prop_round)
         .filter(|&r| r == round)
-        .and(s.scratch.wave_src.map(|src| (src, s.scratch.wave_via_matching)));
+        .and(
+            s.scratch
+                .wave_src
+                .map(|src| (src, s.scratch.wave_via_matching)),
+        );
     let mut adoption: Option<(u32, NodeId)> = None;
 
     for &&(from, m) in sorted {
@@ -962,7 +962,10 @@ mod tests {
         };
         let run = run_bcongest(&BipartiteMatching, g, None, &opts).unwrap();
         let pairs = crate::matching_maximal::matching_pairs(&run.outputs);
-        assert!(reference::is_matching(g, &pairs), "not a matching: {pairs:?}");
+        assert!(
+            reference::is_matching(g, &pairs),
+            "not a matching: {pairs:?}"
+        );
         let want = reference::hopcroft_karp(g).expect("test graphs are bipartite");
         assert_eq!(pairs.len(), want, "matching size mismatch");
     }

@@ -116,8 +116,9 @@ impl BcongestAlgorithm for IsraeliItai {
             1 => (s.accept_phase == Some(phase) && !s.accept_sent)
                 .then(|| s.accept_to.map(MatchMsg::Accept))
                 .flatten(),
-            _ => (s.matched_phase == Some(phase) && !s.matched_sent)
-                .then_some(MatchMsg::MatchedNow),
+            _ => {
+                (s.matched_phase == Some(phase) && !s.matched_sent).then_some(MatchMsg::MatchedNow)
+            }
         }
     }
 
@@ -211,7 +212,11 @@ pub fn matching_pairs(outputs: &[Option<NodeId>]) -> Vec<(NodeId, NodeId)> {
     for (i, &p) in outputs.iter().enumerate() {
         let u = NodeId::new(i);
         if let Some(v) = p {
-            assert_eq!(outputs[v.index()], Some(u), "inconsistent matching at {u:?}");
+            assert_eq!(
+                outputs[v.index()],
+                Some(u),
+                "inconsistent matching at {u:?}"
+            );
             if u < v {
                 pairs.push((u, v));
             }
@@ -257,7 +262,11 @@ mod tests {
         let g = generators::gnp_connected(60, 0.1, 7);
         let run = run_bcongest(&IsraeliItai, &g, None, &RunOptions::default()).unwrap();
         // O(log n) phases of 3 rounds; allow a generous constant.
-        assert!(run.metrics.rounds <= 3 * 40 * 6, "rounds = {}", run.metrics.rounds);
+        assert!(
+            run.metrics.rounds <= 3 * 40 * 6,
+            "rounds = {}",
+            run.metrics.rounds
+        );
     }
 
     #[test]

@@ -30,14 +30,18 @@ fn bench_e_t1_2(c: &mut Criterion) {
 fn bench_e_t2_1(c: &mut Criterion) {
     let mut g = c.benchmark_group("e_t2_1_simulation_overhead");
     g.sample_size(10);
-    g.bench_function("n20", |b| b.iter(|| ex::e_t2_1(std::hint::black_box(20), SEED)));
+    g.bench_function("n20", |b| {
+        b.iter(|| ex::e_t2_1(std::hint::black_box(20), SEED))
+    });
     g.finish();
 }
 
 fn bench_e_l2_4(c: &mut Criterion) {
     let mut g = c.benchmark_group("e_l2_4_ldc");
     g.sample_size(20);
-    g.bench_function("n48", |b| b.iter(|| ex::e_l2_4(std::hint::black_box(48), SEED)));
+    g.bench_function("n48", |b| {
+        b.iter(|| ex::e_l2_4(std::hint::black_box(48), SEED))
+    });
     g.finish();
 }
 
@@ -62,7 +66,9 @@ fn bench_e_l3_7(c: &mut Criterion) {
 fn bench_e_l3_8(c: &mut Criterion) {
     let mut g = c.benchmark_group("e_l3_8_congestion_smoothing");
     g.sample_size(10);
-    g.bench_function("n24", |b| b.iter(|| ex::e_l3_8(std::hint::black_box(24), SEED)));
+    g.bench_function("n24", |b| {
+        b.iter(|| ex::e_l3_8(std::hint::black_box(24), SEED))
+    });
     g.finish();
 }
 
@@ -87,7 +93,9 @@ fn bench_e_c2_8(c: &mut Criterion) {
 fn bench_e_c2_9(c: &mut Criterion) {
     let mut g = c.benchmark_group("e_c2_9_cover");
     g.sample_size(10);
-    g.bench_function("n20", |b| b.iter(|| ex::e_c2_9(std::hint::black_box(20), SEED)));
+    g.bench_function("n20", |b| {
+        b.iter(|| ex::e_c2_9(std::hint::black_box(20), SEED))
+    });
     g.finish();
 }
 

@@ -30,7 +30,18 @@ fn main() {
         usize,
         usize,
     ) = if quick {
-        (vec![16, 24, 32], 24, vec![16, 24, 32], 24, 48, 10, 40, vec![6, 10], 20, 32)
+        (
+            vec![16, 24, 32],
+            24,
+            vec![16, 24, 32],
+            24,
+            48,
+            10,
+            40,
+            vec![6, 10],
+            20,
+            32,
+        )
     } else {
         (
             vec![32, 48, 64, 96, 128],
@@ -60,9 +71,18 @@ fn main() {
     print!("{}", ex::e_t1_4(t14_n, &[8, 16, 32], seed).render());
     print!("{}", ex::e_c2_8(&c28, seed).render());
     print!("{}", ex::e_c2_9(c29_n, seed).render());
-    print!("{}", ex::e_ext_weighted_tradeoff(if quick { 16 } else { 24 }, seed).render());
-    print!("{}", ex::e_abl_delays(if quick { 32 } else { 64 }, seed).render());
-    print!("{}", ex::e_abl_strict_budget(if quick { 24 } else { 40 }, seed).render());
+    print!(
+        "{}",
+        ex::e_ext_weighted_tradeoff(if quick { 16 } else { 24 }, seed).render()
+    );
+    print!(
+        "{}",
+        ex::e_abl_delays(if quick { 32 } else { 64 }, seed).render()
+    );
+    print!(
+        "{}",
+        ex::e_abl_strict_budget(if quick { 24 } else { 40 }, seed).render()
+    );
 
     println!("done.");
 }

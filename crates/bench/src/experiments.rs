@@ -30,7 +30,16 @@ fn ln(n: usize) -> f64 {
 pub fn e_t1_1(ns: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         "E-T1.1 (Theorem 1.1): weighted APSP — Õ(n²) simulated messages vs Θ(mn) direct",
-        &["n", "m", "B_A", "msgs (sim)", "msgs (direct)", "direct/sim", "rounds (sim)", "rounds (direct)"],
+        &[
+            "n",
+            "m",
+            "B_A",
+            "msgs (sim)",
+            "msgs (direct)",
+            "direct/sim",
+            "rounds (sim)",
+            "rounds (direct)",
+        ],
     );
     let mut xs = Vec::new();
     let mut sim_ms = Vec::new();
@@ -100,7 +109,16 @@ pub fn e_t1_2(n: usize, eps: &[f64], seed: u64) -> Table {
 pub fn e_t2_1(n: usize, seed: u64) -> Table {
     let mut t = Table::new(
         format!("E-T2.1 (Theorem 2.1): simulation overhead per payload, n = {n}"),
-        &["payload", "B_A", "In+Out (words)", "msgs (sim)", "msgs/(In+Out+B)", "T_A", "rounds (sim)", "rounds/(T_A·n)"],
+        &[
+            "payload",
+            "B_A",
+            "In+Out (words)",
+            "msgs (sim)",
+            "msgs/(In+Out+B)",
+            "T_A",
+            "rounds (sim)",
+            "rounds/(T_A·n)",
+        ],
     );
     let g = generators::gnp_connected(n, 0.3, seed);
     let opts = LdcSimOptions {
@@ -163,7 +181,17 @@ pub fn e_t2_1(n: usize, seed: u64) -> Table {
 pub fn e_l2_4(n: usize, seed: u64) -> Table {
     let mut t = Table::new(
         format!("E-L2.4 (Lemma 2.4): (O(log n), O(log n))-LDC decomposition, n ≈ {n}"),
-        &["family", "n", "m", "clusters", "strong radius", "radius/ln n", "max F-deg", "F-deg/ln n", "build msgs"],
+        &[
+            "family",
+            "n",
+            "m",
+            "clusters",
+            "strong radius",
+            "radius/ln n",
+            "max F-deg",
+            "F-deg/ln n",
+            "build msgs",
+        ],
     );
     let families: Vec<(&str, congest_graph::Graph)> = vec![
         ("gnp", generators::gnp_connected(n, 0.2, seed)),
@@ -195,7 +223,18 @@ pub fn e_l2_4(n: usize, seed: u64) -> Table {
 pub fn e_t3_3(n: usize, eps: &[f64], seed: u64) -> Table {
     let mut t = Table::new(
         format!("E-T3.3 (Thm 3.3 / Cor 3.5): Baswana–Sen hierarchies, n = {n}"),
-        &["ε", "κ", "max F-deg", "F-deg/n^ε", "max subtree (pruned)", "n^(1-ε) bound", "spanner edges", "n^(1+1/κ)", "stretch", "2κ-1"],
+        &[
+            "ε",
+            "κ",
+            "max F-deg",
+            "F-deg/n^ε",
+            "max subtree (pruned)",
+            "n^(1-ε) bound",
+            "spanner edges",
+            "n^(1+1/κ)",
+            "stretch",
+            "2κ-1",
+        ],
     );
     let g = generators::gnp_connected(n, 0.4, seed);
     for &e in eps {
@@ -225,7 +264,14 @@ pub fn e_t3_3(n: usize, eps: &[f64], seed: u64) -> Table {
 pub fn e_l3_7(n: usize, trials: usize, seed: u64) -> Table {
     let mut t = Table::new(
         format!("E-L3.7 (Lemma 3.7): P[edge is a cluster edge], n = {n}, {trials} trials"),
-        &["ε", "κ", "avg frequency", "max frequency", "κ·n^(-ε) bound", "avg/bound"],
+        &[
+            "ε",
+            "κ",
+            "avg frequency",
+            "max frequency",
+            "κ·n^(-ε) bound",
+            "avg/bound",
+        ],
     );
     let g = generators::gnp_connected(n, 0.3, seed);
     for &e in &[0.25f64, 0.34, 0.5] {
@@ -248,8 +294,16 @@ pub fn e_l3_7(n: usize, trials: usize, seed: u64) -> Table {
 pub fn e_l3_8(n: usize, seed: u64) -> Table {
     use apsp_core::simulate::{simulate_aggregation_general, AggSimOptions};
     let mut t = Table::new(
-        format!("E-L3.8 (Lemma 3.8): max cluster-edge congestion, 1 hierarchy vs ζ = ⌈n^ε⌉, n = {n}"),
-        &["ε", "batches", "max cluster-edge congestion (single)", "(ensemble)", "smoothing factor"],
+        format!(
+            "E-L3.8 (Lemma 3.8): max cluster-edge congestion, 1 hierarchy vs ζ = ⌈n^ε⌉, n = {n}"
+        ),
+        &[
+            "ε",
+            "batches",
+            "max cluster-edge congestion (single)",
+            "(ensemble)",
+            "smoothing factor",
+        ],
     );
     let g = generators::gnp_connected(n, 0.3, seed);
     let eps = 0.5;
@@ -285,9 +339,8 @@ pub fn e_l3_8(n: usize, seed: u64) -> Table {
     let m_ens = run_over(&|hs, b| &hs[b % hs.len()]);
     // Congestion over edges that are cluster edges anywhere in the ensemble.
     let mask_single = |e: congest_graph::EdgeId| ensemble.hierarchies[0].is_cluster_edge(e);
-    let any_mask = |e: congest_graph::EdgeId| {
-        ensemble.hierarchies.iter().any(|h| h.is_cluster_edge(e))
-    };
+    let any_mask =
+        |e: congest_graph::EdgeId| ensemble.hierarchies.iter().any(|h| h.is_cluster_edge(e));
     let c_single = m_single.max_congestion_where(mask_single);
     let c_ens = m_ens.max_congestion_where(any_mask);
     t.row(vec![
@@ -305,7 +358,15 @@ pub fn e_l3_8(n: usize, seed: u64) -> Table {
 pub fn e_t1_4(n: usize, ls: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         format!("E-T1.4 (Theorem 1.4): ℓ BFS with random delays, n = {n}"),
-        &["ℓ", "rounds", "ℓ+dilation", "rounds/(ℓ+dil)", "max distinct BFS per node-round", "log₂ n", "re-broadcasts"],
+        &[
+            "ℓ",
+            "rounds",
+            "ℓ+dilation",
+            "rounds/(ℓ+dil)",
+            "max distinct BFS per node-round",
+            "log₂ n",
+            "re-broadcasts",
+        ],
     );
     let g = generators::gnp_connected(n, 0.25, seed);
     for &l in ls {
@@ -346,13 +407,21 @@ pub fn e_t1_4(n: usize, ls: &[usize], seed: u64) -> Table {
 pub fn e_c2_8(sizes: &[usize], seed: u64) -> Table {
     let mut t = Table::new(
         "E-C2.8 (Corollary 2.8): bipartite maximum matching via Theorem 2.1",
-        &["n", "m", "|M|", "HK optimum", "B_A", "msgs (sim)", "msgs (direct)", "rounds (sim)"],
+        &[
+            "n",
+            "m",
+            "|M|",
+            "HK optimum",
+            "B_A",
+            "msgs (sim)",
+            "msgs (direct)",
+            "rounds (sim)",
+        ],
     );
     for &half in sizes {
         let g = generators::random_bipartite_connected(half, half, 0.25, seed);
         let sim = apsp_core::matching::bipartite_maximum_matching(&g, seed).expect("sim");
-        let dir =
-            apsp_core::matching::bipartite_maximum_matching_direct(&g, seed).expect("direct");
+        let dir = apsp_core::matching::bipartite_maximum_matching_direct(&g, seed).expect("direct");
         let hk = congest_graph::reference::hopcroft_karp(&g).expect("bipartite");
         assert_eq!(sim.pairs.len(), hk, "maximum");
         t.row(vec![
@@ -373,13 +442,21 @@ pub fn e_c2_8(sizes: &[usize], seed: u64) -> Table {
 pub fn e_c2_9(n: usize, seed: u64) -> Table {
     let mut t = Table::new(
         format!("E-C2.9 (Corollary 2.9): (k,W)-sparse neighborhood covers, n = {n}"),
-        &["k", "W", "reps (trees/node)", "max depth", "kW·ln n bound", "msgs (sim)", "valid"],
+        &[
+            "k",
+            "W",
+            "reps (trees/node)",
+            "max depth",
+            "kW·ln n bound",
+            "msgs (sim)",
+            "valid",
+        ],
     );
     let g = generators::gnp_connected(n, 0.2, seed);
     for &(k, w) in &[(2usize, 1u32), (2, 2), (3, 2)] {
         let reps = 30;
-        let res = apsp_core::cover::sparse_neighborhood_cover(&g, k, w, Some(reps), seed)
-            .expect("cover");
+        let res =
+            apsp_core::cover::sparse_neighborhood_cover(&g, k, w, Some(reps), seed).expect("cover");
         let valid = res.validate(&g);
         let (depth, trees) = valid.as_ref().copied().unwrap_or((0, 0));
         t.row(vec![
@@ -473,18 +550,17 @@ pub fn e_ext_weighted_tradeoff(n: usize, seed: u64) -> Table {
     let g = generators::gnp_connected(n, 0.3, seed);
     let wg = WeightedGraph::random_weights(&g, 1..=6, seed);
     for &e in &[0.34f64, 0.5, 1.0] {
-        let res = weighted_apsp_tradeoff(
-            &wg,
-            &WeightedTradeoffConfig {
-                epsilon: e,
-                seed,
-            },
-        )
-        .expect("weighted tradeoff");
+        let res = weighted_apsp_tradeoff(&wg, &WeightedTradeoffConfig { epsilon: e, seed })
+            .expect("weighted tradeoff");
         apsp_core::verify::check_weighted_apsp(&wg, &res.distances).expect("exact");
         t.row(vec![
             f2(e),
-            if e >= 0.5 { "Thm 3.10 (star)" } else { "Thm 3.9 (general)" }.into(),
+            if e >= 0.5 {
+                "Thm 3.10 (star)"
+            } else {
+                "Thm 3.9 (general)"
+            }
+            .into(),
             res.metrics.rounds.to_string(),
             res.metrics.messages.to_string(),
             res.simulated_broadcasts.to_string(),
@@ -499,7 +575,13 @@ pub fn e_ext_weighted_tradeoff(n: usize, seed: u64) -> Table {
 pub fn e_abl_delays(n: usize, seed: u64) -> Table {
     let mut t = Table::new(
         format!("E-ABL (ablation of Theorem 1.4): random delays on vs off, n = {n}"),
-        &["delays", "rounds", "max distinct BFS per node-round", "re-broadcast broadcasts", "messages"],
+        &[
+            "delays",
+            "rounds",
+            "max distinct BFS per node-round",
+            "re-broadcast broadcasts",
+            "messages",
+        ],
     );
     let g = generators::gnp_connected(n, 0.25, seed);
     for delays_on in [true, false] {
@@ -542,7 +624,9 @@ pub fn e_abl_delays(n: usize, seed: u64) -> Table {
 /// worst-case Θ(n log n) per-phase padding.
 pub fn e_abl_strict_budget(n: usize, seed: u64) -> Table {
     let mut t = Table::new(
-        format!("E-ABL2 (ablation of §2.2 phase budget): realized vs strict Θ(n log n) phases, n = {n}"),
+        format!(
+            "E-ABL2 (ablation of §2.2 phase budget): realized vs strict Θ(n log n) phases, n = {n}"
+        ),
         &["phase budget", "rounds", "messages"],
     );
     let g = generators::gnp_connected(n, 0.3, seed);
@@ -560,7 +644,12 @@ pub fn e_abl_strict_budget(n: usize, seed: u64) -> Table {
         )
         .expect("sim");
         t.row(vec![
-            if strict { "strict (paper worst case)" } else { "realized schedule" }.into(),
+            if strict {
+                "strict (paper worst case)"
+            } else {
+                "realized schedule"
+            }
+            .into(),
             sim.metrics.rounds.to_string(),
             sim.metrics.messages.to_string(),
         ]);

@@ -19,9 +19,7 @@ use congest_engine::{EngineError, Metrics};
 use congest_graph::{Graph, NodeId};
 use congest_sched::{compose_measured, paper_shared_words, shared_randomness};
 
-use crate::simulate::{
-    simulate_aggregation_general, simulate_aggregation_star, AggSimOptions,
-};
+use crate::simulate::{simulate_aggregation_general, simulate_aggregation_star, AggSimOptions};
 
 /// Result of a many-BFS computation.
 #[derive(Clone, Debug)]
@@ -41,7 +39,10 @@ pub struct BfsForestResult {
 ///
 /// Propagates engine errors.
 pub fn all_bfs_star(g: &Graph, epsilon: f64, seed: u64) -> Result<BfsForestResult, EngineError> {
-    assert!((0.5..=1.0).contains(&epsilon), "Lemma 3.22 needs ε ∈ [1/2, 1]");
+    assert!(
+        (0.5..=1.0).contains(&epsilon),
+        "Lemma 3.22 needs ε ∈ [1/2, 1]"
+    );
     let mut metrics = Metrics::new(g.m());
 
     // Shared randomness for the random delays (Theorem 1.4).
@@ -87,7 +88,10 @@ pub fn all_bfs_batched(
     depth_limit: u32,
     seed: u64,
 ) -> Result<BfsForestResult, EngineError> {
-    assert!(epsilon > 0.0 && epsilon <= 0.5, "Lemma 3.23 needs ε ∈ (0, 1/2]");
+    assert!(
+        epsilon > 0.0 && epsilon <= 0.5,
+        "Lemma 3.23 needs ε ∈ (0, 1/2]"
+    );
     let n = g.n();
     let mut metrics = Metrics::new(g.m());
 

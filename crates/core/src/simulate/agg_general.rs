@@ -23,9 +23,7 @@
 use crate::simulate::common::{dedupe_msgs, input_words, Pad, SimulationRun, Stepper};
 use congest_algos::leader::setup_network;
 use congest_decomp::{Hierarchy, Level};
-use congest_engine::{
-    downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire,
-};
+use congest_engine::{downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire};
 use congest_graph::{ClusterId, EdgeId, Graph, NodeId};
 
 /// Options for the Theorem 3.9 / 3.10 simulations.

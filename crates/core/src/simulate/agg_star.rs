@@ -21,9 +21,7 @@
 use crate::simulate::common::{dedupe_msgs, input_words, Pad, SimulationRun, Stepper};
 use congest_algos::leader::setup_network;
 use congest_decomp::Hierarchy;
-use congest_engine::{
-    downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire,
-};
+use congest_engine::{downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire};
 use congest_graph::{ClusterId, EdgeId, Graph, NodeId};
 
 pub use super::agg_general::AggSimOptions;

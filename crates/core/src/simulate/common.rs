@@ -72,7 +72,8 @@ impl<'a, A: BcongestAlgorithm> Stepper<'a, A> {
             }
         }
         for (v, _) in &out {
-            self.algo.on_broadcast_sent(&mut self.states[v.index()], round);
+            self.algo
+                .on_broadcast_sent(&mut self.states[v.index()], round);
         }
         self.broadcasts += out.len() as u64;
         out

@@ -20,9 +20,7 @@
 use crate::simulate::common::{input_words, Pad, SimulationRun, Stepper};
 use congest_algos::leader::setup_network;
 use congest_decomp::ldc::{build_ldc, LdcDecomposition};
-use congest_engine::{
-    downcast, upcast, BcongestAlgorithm, EngineError, Forest, Metrics,
-};
+use congest_engine::{downcast, upcast, BcongestAlgorithm, EngineError, Forest, Metrics};
 use congest_graph::{Graph, NodeId};
 
 /// Options for the Theorem 2.1 simulation.
@@ -189,10 +187,15 @@ mod tests {
         let g = generators::gnp_connected(30, 0.12, 3);
         let algo = Bfs::new(NodeId::new(5));
         let direct = run_bcongest(&algo, &g, None, &direct_opts(9)).unwrap();
-        let sim = simulate_bcongest_via_ldc(&algo, &g, None, &LdcSimOptions {
-            seed: 9,
-            ..Default::default()
-        })
+        let sim = simulate_bcongest_via_ldc(
+            &algo,
+            &g,
+            None,
+            &LdcSimOptions {
+                seed: 9,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert_eq!(sim.outputs, direct.outputs);
         assert_eq!(sim.simulated_broadcasts, direct.metrics.broadcasts);
@@ -202,10 +205,15 @@ mod tests {
     fn mis_simulated_equals_direct() {
         let g = generators::gnp_connected(25, 0.15, 4);
         let direct = run_bcongest(&LubyMis, &g, None, &direct_opts(11)).unwrap();
-        let sim = simulate_bcongest_via_ldc(&LubyMis, &g, None, &LdcSimOptions {
-            seed: 11,
-            ..Default::default()
-        })
+        let sim = simulate_bcongest_via_ldc(
+            &LubyMis,
+            &g,
+            None,
+            &LdcSimOptions {
+                seed: 11,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert_eq!(sim.outputs, direct.outputs);
         assert!(is_valid_mis(&g, &sim.outputs));
@@ -218,10 +226,15 @@ mod tests {
         let g = generators::complete(40);
         let algo = Bfs::new(NodeId::new(0));
         let direct = run_bcongest(&algo, &g, None, &direct_opts(2)).unwrap();
-        let sim = simulate_bcongest_via_ldc(&algo, &g, None, &LdcSimOptions {
-            seed: 2,
-            ..Default::default()
-        })
+        let sim = simulate_bcongest_via_ldc(
+            &algo,
+            &g,
+            None,
+            &LdcSimOptions {
+                seed: 2,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert_eq!(sim.outputs, direct.outputs);
         // Phase-only messages (total - preprocessing) are far below direct's 2m.
@@ -238,16 +251,26 @@ mod tests {
     fn strict_budget_pads_rounds() {
         let g = generators::gnp_connected(20, 0.2, 5);
         let algo = Bfs::new(NodeId::new(1));
-        let lax = simulate_bcongest_via_ldc(&algo, &g, None, &LdcSimOptions {
-            seed: 5,
-            ..Default::default()
-        })
+        let lax = simulate_bcongest_via_ldc(
+            &algo,
+            &g,
+            None,
+            &LdcSimOptions {
+                seed: 5,
+                ..Default::default()
+            },
+        )
         .unwrap();
-        let strict = simulate_bcongest_via_ldc(&algo, &g, None, &LdcSimOptions {
-            seed: 5,
-            strict_phase_budget: true,
-            ..Default::default()
-        })
+        let strict = simulate_bcongest_via_ldc(
+            &algo,
+            &g,
+            None,
+            &LdcSimOptions {
+                seed: 5,
+                strict_phase_budget: true,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert_eq!(lax.outputs, strict.outputs);
         assert!(strict.metrics.rounds > lax.metrics.rounds);

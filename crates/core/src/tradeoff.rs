@@ -126,8 +126,7 @@ mod tests {
         for v in 0..g.n() {
             for s in 0..g.n() {
                 assert_eq!(
-                    res.dist[v][s],
-                    want[s][v],
+                    res.dist[v][s], want[s][v],
                     "dist({s},{v}) via {:?}",
                     res.route
                 );

@@ -191,8 +191,7 @@ mod tests {
                 },
             )
             .unwrap();
-            check_weighted_apsp(&wg, &res.distances)
-                .unwrap_or_else(|e| panic!("eps {eps}: {e}"));
+            check_weighted_apsp(&wg, &res.distances).unwrap_or_else(|e| panic!("eps {eps}: {e}"));
         }
     }
 
@@ -204,11 +203,26 @@ mod tests {
         let wg = WeightedGraph::from_weights(g, vec![1, 100]).unwrap();
         let algo = WeightedApspOverHierarchy::new(&wg);
         let msgs = vec![
-            (NodeId::new(1), WApspMsg { source: 9, dist: 10 }),
+            (
+                NodeId::new(1),
+                WApspMsg {
+                    source: 9,
+                    dist: 10,
+                },
+            ),
             (NodeId::new(2), WApspMsg { source: 9, dist: 2 }),
         ];
         let agg = algo.aggregate(NodeId::new(0), 0, msgs);
-        assert_eq!(agg, vec![(NodeId::new(1), WApspMsg { source: 9, dist: 10 })]);
+        assert_eq!(
+            agg,
+            vec![(
+                NodeId::new(1),
+                WApspMsg {
+                    source: 9,
+                    dist: 10
+                }
+            )]
+        );
     }
 
     #[test]

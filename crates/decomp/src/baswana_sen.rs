@@ -100,7 +100,9 @@ impl Hierarchy {
         levels.push(Level {
             index: 0,
             cluster_of: (0..n).map(|v| Some(ClusterId::new(v))).collect(),
-            clusters: (0..n).map(|v| (NodeId::new(v), vec![NodeId::new(v)])).collect(),
+            clusters: (0..n)
+                .map(|v| (NodeId::new(v), vec![NodeId::new(v)]))
+                .collect(),
             parent: vec![None; n],
             depth: vec![0; n],
             l_nodes: Vec::new(),
@@ -158,8 +160,7 @@ impl Hierarchy {
                     .iter()
                     .copied()
                     .filter(|&u| {
-                        prev.cluster_of[u.index()]
-                            .is_some_and(|cu| is_sampled_cluster(cu, prev))
+                        prev.cluster_of[u.index()].is_some_and(|cu| is_sampled_cluster(cu, prev))
                     })
                     .min();
                 match join {
@@ -205,7 +206,10 @@ impl Hierarchy {
             });
         }
 
-        debug_assert!(dropout.iter().all(|&d| d != usize::MAX), "everyone drops out");
+        debug_assert!(
+            dropout.iter().all(|&d| d != usize::MAX),
+            "everyone drops out"
+        );
         Self {
             epsilon,
             kappa,
@@ -218,9 +222,9 @@ impl Hierarchy {
 
     /// The clusters containing `v`: `(level, cluster)` for levels `0..dropout(v)`.
     pub fn clusters_of(&self, v: NodeId) -> impl Iterator<Item = (usize, ClusterId)> + '_ {
-        self.levels.iter().filter_map(move |lvl| {
-            lvl.cluster_of[v.index()].map(|c| (lvl.index, c))
-        })
+        self.levels
+            .iter()
+            .filter_map(move |lvl| lvl.cluster_of[v.index()].map(|c| (lvl.index, c)))
     }
 
     /// All F-edges across levels.
@@ -247,12 +251,7 @@ impl Hierarchy {
 
 /// One representative edge from `v` into each neighboring cluster of `level`
 /// (excluding `own`): the smallest-ID neighbor in each.
-fn representative_edges(
-    g: &Graph,
-    v: NodeId,
-    level: &Level,
-    own: ClusterId,
-) -> Vec<FEdge> {
+fn representative_edges(g: &Graph, v: NodeId, level: &Level, own: ClusterId) -> Vec<FEdge> {
     let mut reps: Vec<(ClusterId, NodeId)> = Vec::new();
     for &u in g.neighbors(v) {
         let Some(cu) = level.cluster_of[u.index()] else {
@@ -298,7 +297,10 @@ pub fn validate_hierarchy(g: &Graph, h: &Hierarchy) -> Result<(), String> {
                 return Err("level 0 must be singletons".into());
             }
             if !members.contains(center) {
-                return Err(format!("center {center:?} outside its cluster at level {}", lvl.index));
+                return Err(format!(
+                    "center {center:?} outside its cluster at level {}",
+                    lvl.index
+                ));
             }
             for &v in members {
                 if seen[v.index()] {
@@ -306,7 +308,10 @@ pub fn validate_hierarchy(g: &Graph, h: &Hierarchy) -> Result<(), String> {
                 }
                 seen[v.index()] = true;
                 if lvl.cluster_of[v.index()] != Some(ClusterId::new(ci)) {
-                    return Err(format!("membership mismatch for {v:?} at level {}", lvl.index));
+                    return Err(format!(
+                        "membership mismatch for {v:?} at level {}",
+                        lvl.index
+                    ));
                 }
             }
         }
@@ -333,7 +338,10 @@ pub fn validate_hierarchy(g: &Graph, h: &Hierarchy) -> Result<(), String> {
                     return Err(format!("depth mismatch along {v:?}->{p:?}"));
                 }
             } else if lvl.depth[v.index()] != 0 {
-                return Err(format!("non-root {v:?} without parent at level {}", lvl.index));
+                return Err(format!(
+                    "non-root {v:?} without parent at level {}",
+                    lvl.index
+                ));
             }
         }
         // F-edges: owners in L_i, distinct targets per owner, targets in C_{i-1}.
@@ -366,9 +374,10 @@ pub fn validate_hierarchy(g: &Graph, h: &Hierarchy) -> Result<(), String> {
         let same_cluster = prev.cluster_of[a.index()].is_some()
             && prev.cluster_of[a.index()] == prev.cluster_of[b.index()];
         let covered = same_cluster
-            || h.levels[i].f_edges.iter().any(|f| {
-                f.owner == a && Some(f.target) == prev.cluster_of[b.index()]
-            });
+            || h.levels[i]
+                .f_edges
+                .iter()
+                .any(|f| f.owner == a && Some(f.target) == prev.cluster_of[b.index()]);
         if !covered {
             return Err(format!("property (c) violated for edge ({a:?},{b:?})"));
         }

@@ -93,7 +93,10 @@ impl NeighborhoodCover {
         let horizon = (self.window - 6) as f64 / 2.0;
         let delta = (-u.ln() / self.beta).min(horizon);
         let start = horizon - delta;
-        (start.floor() as usize, ((start - start.floor()) * (1u32 << 20) as f64) as u32)
+        (
+            start.floor() as usize,
+            ((start - start.floor()) * (1u32 << 20) as f64) as u32,
+        )
     }
 }
 
@@ -130,8 +133,7 @@ pub struct CoverState {
 
 impl CoverState {
     fn finalize_current(&mut self, me: NodeId) {
-        let (center, _, dist, parent) =
-            self.claimed.unwrap_or((me.raw(), 0, 0, None));
+        let (center, _, dist, parent) = self.claimed.unwrap_or((me.raw(), 0, 0, None));
         self.finished.push(CoverMembership {
             center: NodeId::from(center),
             dist,
@@ -311,7 +313,10 @@ pub fn validate_cover(
     let mut max_depth = 0;
     for (v, o) in outputs.iter().enumerate() {
         if o.memberships.len() != reps {
-            return Err(format!("node {v} has {} memberships, want {reps}", o.memberships.len()));
+            return Err(format!(
+                "node {v} has {} memberships, want {reps}",
+                o.memberships.len()
+            ));
         }
     }
     // Tree validity per repetition.
@@ -359,11 +364,7 @@ mod tests {
     use congest_engine::{run_bcongest, RunOptions};
     use congest_graph::generators;
 
-    fn run_cover(
-        g: &Graph,
-        cover: &NeighborhoodCover,
-        seed: u64,
-    ) -> Vec<CoverOutput> {
+    fn run_cover(g: &Graph, cover: &NeighborhoodCover, seed: u64) -> Vec<CoverOutput> {
         let opts = RunOptions {
             seed,
             ..Default::default()

@@ -75,12 +75,7 @@ impl Ensemble {
 
 /// Empirical per-edge cluster-edge frequency over `trials` fresh hierarchies (for
 /// the Lemma 3.7 experiment): returns the average over edges and the max over edges.
-pub fn cluster_edge_frequency(
-    g: &Graph,
-    epsilon: f64,
-    trials: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn cluster_edge_frequency(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> (f64, f64) {
     let mut counts = vec![0usize; g.m()];
     for t in 0..trials {
         let h = Hierarchy::build(g, epsilon, rng::derive(seed, 0x1e37 + t as u64));
@@ -135,7 +130,7 @@ mod tests {
     }
 
     #[test]
-    fn cluster_edge_probability_small(){
+    fn cluster_edge_probability_small() {
         // Lemma 3.7: P[cluster edge] = O(κ n^{-ε}); with n = 49, ε = 0.5, κ = 2 the
         // bound is ~2/7 ≈ 0.29 (up to constants). Check the average is well below 1.
         let g = generators::gnp_connected(49, 0.15, 5);

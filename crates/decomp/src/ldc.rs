@@ -172,8 +172,13 @@ mod tests {
             let g = generators::gnp_connected(60, 0.08, seed);
             let ldc = build_ldc(&g, seed).unwrap();
             // (O(log n), O(log n)) with explicit constants 7 and 8.
-            validate_ldc(&g, &ldc, log_bound(g.n(), 7), 8 * log_bound(g.n(), 1) as usize)
-                .unwrap();
+            validate_ldc(
+                &g,
+                &ldc,
+                log_bound(g.n(), 7),
+                8 * log_bound(g.n(), 1) as usize,
+            )
+            .unwrap();
         }
     }
 
@@ -189,8 +194,13 @@ mod tests {
         .enumerate()
         {
             let ldc = build_ldc(g, i as u64).unwrap();
-            validate_ldc(g, &ldc, log_bound(g.n(), 7), 8 * log_bound(g.n(), 1) as usize)
-                .unwrap();
+            validate_ldc(
+                g,
+                &ldc,
+                log_bound(g.n(), 7),
+                8 * log_bound(g.n(), 1) as usize,
+            )
+            .unwrap();
         }
     }
 

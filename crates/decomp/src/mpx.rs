@@ -265,11 +265,7 @@ pub struct Clustering {
 
 impl Clustering {
     /// Builds a clustering from per-node `(center, parent, depth)` triples.
-    pub fn from_assignment(
-        centers: &[NodeId],
-        parents: &[Option<NodeId>],
-        depths: &[u32],
-    ) -> Self {
+    pub fn from_assignment(centers: &[NodeId], parents: &[Option<NodeId>], depths: &[u32]) -> Self {
         let n = centers.len();
         let mut uniq: Vec<NodeId> = centers.to_vec();
         uniq.sort_unstable();
@@ -366,11 +362,7 @@ pub struct MpxRun {
 /// # Errors
 ///
 /// Propagates engine errors (round-limit; cannot occur for valid parameters).
-pub fn run_mpx(
-    g: &Graph,
-    beta: f64,
-    seed: u64,
-) -> Result<MpxRun, congest_engine::EngineError> {
+pub fn run_mpx(g: &Graph, beta: f64, seed: u64) -> Result<MpxRun, congest_engine::EngineError> {
     let algo = MpxAlgorithm::new(beta);
     let opts = congest_engine::RunOptions {
         seed,
@@ -383,7 +375,11 @@ pub fn run_mpx(
     let clustering = Clustering::from_assignment(&centers, &parents, &depths);
     Ok(MpxRun {
         clustering,
-        neighbor_centers: run.outputs.into_iter().map(|o| o.neighbor_centers).collect(),
+        neighbor_centers: run
+            .outputs
+            .into_iter()
+            .map(|o| o.neighbor_centers)
+            .collect(),
         metrics: run.metrics,
     })
 }
@@ -441,7 +437,8 @@ mod tests {
         for v in g.nodes() {
             assert_eq!(run.neighbor_centers[v.index()].len(), g.degree(v));
             for &(u, cu) in &run.neighbor_centers[v.index()] {
-                let (uc, _) = &run.clustering.clusters[run.clustering.cluster_of[u.index()].index()];
+                let (uc, _) =
+                    &run.clustering.clusters[run.clustering.cluster_of[u.index()].index()];
                 assert_eq!(*uc, cu);
             }
         }

@@ -29,10 +29,16 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::RoundLimitExceeded { algorithm, limit } => {
-                write!(f, "algorithm '{algorithm}' exceeded the round limit of {limit}")
+                write!(
+                    f,
+                    "algorithm '{algorithm}' exceeded the round limit of {limit}"
+                )
             }
             EngineError::InvalidPath { task } => {
-                write!(f, "routing task {task} has a path that is not a walk in the graph")
+                write!(
+                    f,
+                    "routing task {task} has a path that is not a walk in the graph"
+                )
             }
             EngineError::InvalidForest { reason } => write!(f, "invalid forest: {reason}"),
         }
@@ -52,7 +58,9 @@ mod tests {
             limit: 5,
         };
         assert!(e.to_string().contains("round limit"));
-        assert!(EngineError::InvalidPath { task: 3 }.to_string().contains("task 3"));
+        assert!(EngineError::InvalidPath { task: 3 }
+            .to_string()
+            .contains("task 3"));
         assert!(EngineError::InvalidForest {
             reason: "cycle".into()
         }

@@ -77,7 +77,11 @@ impl Metrics {
 
     /// Composes with an operation that ran *after* this one: rounds add.
     pub fn merge_sequential(&mut self, other: &Metrics) {
-        assert_eq!(self.congestion.len(), other.congestion.len(), "graph mismatch");
+        assert_eq!(
+            self.congestion.len(),
+            other.congestion.len(),
+            "graph mismatch"
+        );
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.broadcasts += other.broadcasts;
@@ -89,7 +93,11 @@ impl Metrics {
     /// Composes with an operation that ran *concurrently* (on edges disjoint in time or
     /// space): rounds take the max, messages and congestion add.
     pub fn merge_parallel(&mut self, other: &Metrics) {
-        assert_eq!(self.congestion.len(), other.congestion.len(), "graph mismatch");
+        assert_eq!(
+            self.congestion.len(),
+            other.congestion.len(),
+            "graph mismatch"
+        );
         self.rounds = self.rounds.max(other.rounds);
         self.messages += other.messages;
         self.broadcasts += other.broadcasts;

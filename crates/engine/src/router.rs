@@ -49,7 +49,11 @@ pub fn route(g: &Graph, tasks: &[RouteTask]) -> Result<RouteReport, EngineError>
             .edge_between(from, to)
             .ok_or(EngineError::InvalidPath { task })?;
         let (u, _) = g.endpoints(e);
-        Ok(if u == from { 2 * e.index() } else { 2 * e.index() + 1 })
+        Ok(if u == from {
+            2 * e.index()
+        } else {
+            2 * e.index() + 1
+        })
     };
 
     // Precompute each task's directed edge sequence.
@@ -237,7 +241,10 @@ mod tests {
             path: vec![NodeId::new(0), NodeId::new(2)],
             words: 1,
         };
-        assert_eq!(route(&g, &[t]).unwrap_err(), EngineError::InvalidPath { task: 0 });
+        assert_eq!(
+            route(&g, &[t]).unwrap_err(),
+            EngineError::InvalidPath { task: 0 }
+        );
     }
 
     #[test]

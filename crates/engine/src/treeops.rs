@@ -42,9 +42,11 @@ impl Forest {
         let mut tree_edges = Vec::new();
         for v in g.nodes() {
             if let Some(p) = parent[v.index()] {
-                let e = g.edge_between(v, p).ok_or_else(|| EngineError::InvalidForest {
-                    reason: format!("parent link {v:?}->{p:?} is not an edge"),
-                })?;
+                let e = g
+                    .edge_between(v, p)
+                    .ok_or_else(|| EngineError::InvalidForest {
+                        reason: format!("parent link {v:?}->{p:?} is not an edge"),
+                    })?;
                 parent_edge[v.index()] = Some(e);
                 tree_edges.push(e);
             }
@@ -68,7 +70,8 @@ impl Forest {
             let mut chain = vec![v];
             let mut cur = v;
             loop {
-                let p = parent[cur.index()].ok_or(())
+                let p = parent[cur.index()]
+                    .ok_or(())
                     .map_err(|_| EngineError::InvalidForest {
                         reason: "internal: root should be resolved".into(),
                     })?;
@@ -279,7 +282,13 @@ mod tests {
     fn path_forest(n: usize) -> (Graph, Forest) {
         let g = generators::path(n);
         let parent: Vec<Option<NodeId>> = (0..n)
-            .map(|i| if i == 0 { None } else { Some(NodeId::new(i - 1)) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some(NodeId::new(i - 1))
+                }
+            })
             .collect();
         let f = Forest::from_parents(&g, parent).unwrap();
         (g, f)

@@ -27,7 +27,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an undirected edge `{u, v}`.

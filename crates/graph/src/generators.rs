@@ -13,7 +13,12 @@ use rand::Rng;
 
 /// Path graph `P_n`: nodes `0..n` in a line.
 pub fn path(n: usize) -> Graph {
-    Graph::from_edges(n, &(0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    Graph::from_edges(
+        n,
+        &(0..n.saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Cycle graph `C_n` (requires `n >= 3`).

@@ -46,7 +46,10 @@ impl Graph {
             .iter()
             .filter(|&&(u, v)| u != v)
             .map(|&(u, v)| {
-                assert!(u < n && v < n, "edge endpoint out of range: ({u},{v}) with n={n}");
+                assert!(
+                    u < n && v < n,
+                    "edge endpoint out of range: ({u},{v}) with n={n}"
+                );
                 if u < v {
                     (u, v)
                 } else {
@@ -251,7 +254,11 @@ mod tests {
     #[test]
     fn neighbors_sorted() {
         let g = Graph::from_edges(5, &[(4, 2), (4, 0), (4, 3), (4, 1)]);
-        let nbrs: Vec<usize> = g.neighbors(NodeId::new(4)).iter().map(|v| v.index()).collect();
+        let nbrs: Vec<usize> = g
+            .neighbors(NodeId::new(4))
+            .iter()
+            .map(|v| v.index())
+            .collect();
         assert_eq!(nbrs, vec![0, 1, 2, 3]);
     }
 

@@ -240,9 +240,7 @@ pub fn hopcroft_karp(g: &Graph) -> Option<usize> {
             false
         }
         for &v in &left {
-            if match_of[v.index()].is_none()
-                && try_augment(g, v, &mut layer, &mut match_of)
-            {
+            if match_of[v.index()].is_none() && try_augment(g, v, &mut layer, &mut match_of) {
                 total += 1;
             }
         }
@@ -273,7 +271,8 @@ pub fn is_maximal_matching(g: &Graph, pairs: &[(NodeId, NodeId)]) -> bool {
         used[u.index()] = true;
         used[v.index()] = true;
     }
-    g.edges().all(|(_, u, v)| used[u.index()] || used[v.index()])
+    g.edges()
+        .all(|(_, u, v)| used[u.index()] || used[v.index()])
 }
 
 #[cfg(test)]
@@ -299,10 +298,7 @@ mod tests {
         for v in g.nodes().skip(1) {
             let p = parent[v.index()].unwrap();
             assert!(g.has_edge(v, p));
-            assert_eq!(
-                dist[p.index()].unwrap() + 1,
-                dist[v.index()].unwrap()
-            );
+            assert_eq!(dist[p.index()].unwrap() + 1, dist[v.index()].unwrap());
         }
     }
 
@@ -371,7 +367,10 @@ mod tests {
     #[test]
     fn matching_validators() {
         let g = generators::cycle(6);
-        let m = vec![(NodeId::new(0), NodeId::new(1)), (NodeId::new(3), NodeId::new(4))];
+        let m = vec![
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(3), NodeId::new(4)),
+        ];
         assert!(is_matching(&g, &m));
         assert!(!is_maximal_matching(&g, &m[..1]));
         let full = vec![

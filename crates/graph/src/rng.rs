@@ -38,8 +38,18 @@ mod tests {
 
     #[test]
     fn seeded_is_deterministic() {
-        let a: Vec<u32> = (0..8).map({ let mut r = seeded(1); move |_| r.random() }).collect();
-        let b: Vec<u32> = (0..8).map({ let mut r = seeded(1); move |_| r.random() }).collect();
+        let a: Vec<u32> = (0..8)
+            .map({
+                let mut r = seeded(1);
+                move |_| r.random()
+            })
+            .collect();
+        let b: Vec<u32> = (0..8)
+            .map({
+                let mut r = seeded(1);
+                move |_| r.random()
+            })
+            .collect();
         assert_eq!(a, b);
     }
 

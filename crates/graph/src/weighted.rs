@@ -77,7 +77,9 @@ impl WeightedGraph {
     /// Independent uniform random weights from `range`, seeded.
     pub fn random_weights(graph: &Graph, range: RangeInclusive<u64>, seed: u64) -> Self {
         let mut r = rng::seeded(rng::derive(seed, 0x5eed_0e19));
-        let weights = (0..graph.m()).map(|_| r.random_range(range.clone())).collect();
+        let weights = (0..graph.m())
+            .map(|_| r.random_range(range.clone()))
+            .collect();
         Self {
             graph: graph.clone(),
             weights,

@@ -148,17 +148,18 @@ pub fn record_bcongest_trace<A: congest_engine::BcongestAlgorithm>(
 ) -> Result<(congest_engine::BcongestRun<A::Output>, Trace), congest_engine::EngineError> {
     use std::cell::RefCell;
     let cells: RefCell<Vec<Vec<(EdgeId, bool)>>> = RefCell::new(Vec::new());
-    let run = congest_engine::run_bcongest_observed(algo, g, weights, opts, |node, round, msgs| {
-        let mut rounds = cells.borrow_mut();
-        while rounds.len() <= round {
-            rounds.push(Vec::new());
-        }
-        for (from, _) in msgs {
-            let e = g.edge_between(*from, node).expect("messages follow edges");
-            let (u, _) = g.endpoints(e);
-            rounds[round].push((e, u == *from));
-        }
-    })?;
+    let run =
+        congest_engine::run_bcongest_observed(algo, g, weights, opts, |node, round, msgs| {
+            let mut rounds = cells.borrow_mut();
+            while rounds.len() <= round {
+                rounds.push(Vec::new());
+            }
+            for (from, _) in msgs {
+                let e = g.edge_between(*from, node).expect("messages follow edges");
+                let (u, _) = g.endpoints(e);
+                rounds[round].push((e, u == *from));
+            }
+        })?;
     let mut rounds = cells.into_inner();
     // Drop trailing empty rounds (idle-skipped gaps stay as explicit empty rounds,
     // preserving intra-algorithm timing).

@@ -31,7 +31,12 @@ pub struct SharedRandomness {
 /// node: each tree edge forwards the whole string, pipelined. Cost: `words + depth`
 /// rounds and `words · (#tree edges)` messages — exactly the paper's `Õ(n)` rounds /
 /// `Õ(n²)` messages when `words = Θ(n)` (the tree has `n−1` edges).
-pub fn shared_randomness(g: &Graph, tree: &Forest, words: usize, master_seed: u64) -> SharedRandomness {
+pub fn shared_randomness(
+    g: &Graph,
+    tree: &Forest,
+    words: usize,
+    master_seed: u64,
+) -> SharedRandomness {
     let mut metrics = Metrics::new(g.m());
     metrics.rounds = words as u64 + u64::from(tree.depth());
     for &e in tree.tree_edges() {

@@ -19,7 +19,11 @@ use congest_apsp::graph::generators;
 fn main() {
     let seed = 5;
     let g = generators::caveman(4, 6);
-    println!("graph: n = {}, m = {} (caveman: 4 cliques of 6)\n", g.n(), g.m());
+    println!(
+        "graph: n = {}, m = {} (caveman: 4 cliques of 6)\n",
+        g.n(),
+        g.m()
+    );
 
     // ---- LDC decomposition (Lemma 2.4) ----
     let ldc = build_ldc(&g, seed).expect("LDC");
@@ -31,10 +35,7 @@ fn main() {
         ldc.strong_radius(&g),
         lnn
     );
-    println!(
-        "  max F-degree d:  {} (bound O(log n))",
-        ldc.max_f_degree()
-    );
+    println!("  max F-degree d:  {} (bound O(log n))", ldc.max_f_degree());
     validate_ldc(&g, &ldc, 7 * lnn.ceil() as u32, 8 * lnn.ceil() as usize)
         .expect("Definition 2.3 holds");
     println!("  validator:       both properties hold\n");
@@ -57,7 +58,9 @@ fn main() {
         &DotOptions {
             cluster_of: Some(cluster_of),
             edge_style: Some(styles),
-            label: Some("Figure 1: (r,d)-LDC decomposition — bold = F, dashed = other inter-cluster".into()),
+            label: Some(
+                "Figure 1: (r,d)-LDC decomposition — bold = F, dashed = other inter-cluster".into(),
+            ),
         },
     );
     std::fs::write("figure1.dot", &dot).expect("write figure1.dot");

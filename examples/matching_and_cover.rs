@@ -17,12 +17,7 @@ fn main() {
 
     // ---- Corollary 2.8: exact bipartite maximum matching ----
     let g = generators::random_bipartite_connected(10, 12, 0.3, seed);
-    println!(
-        "bipartite graph: {}+{} nodes, m = {}",
-        10,
-        12,
-        g.m()
-    );
+    println!("bipartite graph: {}+{} nodes, m = {}", 10, 12, g.m());
     let sim = bipartite_maximum_matching(&g, seed).expect("matching (simulated)");
     let direct = bipartite_maximum_matching_direct(&g, seed).expect("matching (direct)");
     check_maximum_matching(&g, &sim.pairs).expect("maximum matching");

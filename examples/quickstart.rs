@@ -54,5 +54,8 @@ fn main() {
     );
 
     // A couple of distances, for flavour.
-    println!("\nsample distances from node 0: {:?}", &sim.distances[0][..8.min(n)]);
+    println!(
+        "\nsample distances from node 0: {:?}",
+        &sim.distances[0][..8.min(n)]
+    );
 }

@@ -57,7 +57,10 @@ fn tradeoff_every_route_on_random_graphs() {
 #[test]
 fn tradeoff_on_high_diameter_graphs() {
     // Path/grid stress the landmark machinery (many far pairs).
-    for (i, g) in [generators::path(24), generators::grid(6, 4)].iter().enumerate() {
+    for (i, g) in [generators::path(24), generators::grid(6, 4)]
+        .iter()
+        .enumerate()
+    {
         for eps in [0.4, 0.75] {
             let res = tradeoff_apsp(g, eps, 13 + i as u64).expect("tradeoff");
             check_unweighted_apsp(g, &res.dist)

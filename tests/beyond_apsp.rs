@@ -71,8 +71,7 @@ fn hierarchies_work_on_every_family() {
     {
         for &eps in &[0.34, 0.5, 1.0] {
             let h = Hierarchy::build(g, eps, 70 + i as u64);
-            validate_hierarchy(g, &h)
-                .unwrap_or_else(|e| panic!("family {i}, eps {eps}: {e}"));
+            validate_hierarchy(g, &h).unwrap_or_else(|e| panic!("family {i}, eps {eps}: {e}"));
             let p = prune(g, &h);
             validate_hierarchy(g, &p)
                 .unwrap_or_else(|e| panic!("pruned family {i}, eps {eps}: {e}"));

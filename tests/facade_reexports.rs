@@ -1,0 +1,74 @@
+//! Pins the `congest_apsp` facade's public API surface: every documented
+//! re-export path must resolve, and the README/lib.rs quickstart path
+//! (`generators::gnp_connected` → `weighted_apsp`) must work end-to-end through
+//! the facade alone — no direct dependency on the member crates.
+
+use congest_apsp::apsp_core::verify::check_weighted_apsp;
+use congest_apsp::apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
+use congest_apsp::graph::{generators, reference, NodeId, WeightedGraph};
+
+/// The exact quickstart from `src/lib.rs` and the README, kept green.
+#[test]
+fn documented_quickstart_runs_through_the_facade() {
+    let g = generators::gnp_connected(24, 0.2, 7);
+    let wg = WeightedGraph::random_weights(&g, 1..=8, 7);
+    let result = weighted_apsp(&wg, &WeightedApspConfig::default()).unwrap();
+    assert_eq!(result.distances.len(), 24);
+    assert!(result.metrics.messages > 0);
+    check_weighted_apsp(&wg, &result.distances).expect("quickstart distances must be exact");
+}
+
+/// Facade distances agree with the sequential oracle reached through the same
+/// facade (`graph::reference`), for several seeds.
+#[test]
+fn facade_weighted_apsp_matches_reference_dijkstra() {
+    for seed in [1, 2, 3] {
+        let g = generators::gnp_connected(16, 0.25, seed);
+        let wg = WeightedGraph::random_weights(&g, 1..=6, seed);
+        let result = weighted_apsp(&wg, &WeightedApspConfig::default()).unwrap();
+        for s in g.nodes() {
+            let want = reference::dijkstra(&wg, s);
+            for v in g.nodes() {
+                assert_eq!(
+                    result.distances[s.index()][v.index()],
+                    want[v.index()],
+                    "seed {seed}: dist({s:?}, {v:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Every aliased module re-export referenced by the crate docs resolves and is
+/// usable. A rename or dropped `pub use` in `src/lib.rs` fails this test at
+/// compile time.
+#[test]
+fn all_documented_reexport_paths_resolve() {
+    // graph (congest_graph)
+    let g: congest_apsp::graph::Graph = generators::path(4);
+    let _: Option<congest_apsp::graph::EdgeId> = g.edge_between(NodeId::new(0), NodeId::new(1));
+
+    // engine (congest_engine)
+    let run = congest_apsp::engine::run_bcongest(
+        &congest_apsp::algos::bfs::Bfs::new(NodeId::new(0)),
+        &g,
+        None,
+        &congest_apsp::engine::RunOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(run.outputs[3].dist, Some(3));
+
+    // decomp (congest_decomp)
+    let h = congest_apsp::decomp::Hierarchy::build(&g, 0.5, 1);
+    assert!(congest_apsp::decomp::baswana_sen::validate_hierarchy(&g, &h).is_ok());
+
+    // sched (congest_sched)
+    let delays = congest_apsp::sched::random_delays(1, 8, 4);
+    assert_eq!(delays.len(), 8);
+    assert!(delays.iter().all(|&d| d < 4));
+
+    // apsp_core (not aliased: the crate keeps its own name)
+    let dist = reference::all_pairs_bfs(&g);
+    congest_apsp::apsp_core::verify::check_unweighted_apsp(&g, &dist)
+        .expect("oracle output validates against itself");
+}

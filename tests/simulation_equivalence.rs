@@ -97,7 +97,10 @@ fn theorem_2_1_weighted_apsp_payload() {
 fn theorem_2_1_randomized_payloads() {
     let g = generators::gnp_connected(20, 0.2, 3);
     for seed in [5u64, 23] {
-        assert_eq!(via_ldc(&LubyMis, &g, None, seed), direct(&LubyMis, &g, None, seed));
+        assert_eq!(
+            via_ldc(&LubyMis, &g, None, seed),
+            direct(&LubyMis, &g, None, seed)
+        );
     }
     let gb = generators::random_bipartite_connected(6, 7, 0.3, 4);
     assert_eq!(

@@ -1,0 +1,175 @@
+//! Offline shim for the subset of the [`criterion`](https://docs.rs/criterion)
+//! API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors a
+//! minimal, API-compatible harness instead of the real crate (see
+//! `vendor/README.md`). Covered surface: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`], and
+//! [`black_box`].
+//!
+//! Differences from the real crate: no warm-up phase, no outlier analysis, no
+//! HTML reports, and no statistical confidence intervals — each benchmark runs
+//! `sample_size` timed samples and prints min/mean/max wall-clock per iteration.
+//! When invoked with `--test` (as `cargo test --benches` does) every benchmark
+//! runs exactly once, untimed, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo appends `--bench` when running bench executables under `cargo
+        // bench`, and omits it under `cargo test --benches`. Like the real
+        // criterion, anything other than a true `cargo bench` invocation (or an
+        // explicit `--test`) runs each benchmark once as a smoke test. Name
+        // filters are ignored by this shim.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            test_mode: self.test_mode,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {}/{} ... ok (bench smoke)", self.name, id);
+        } else if b.samples.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id);
+        } else {
+            let min = b.samples.iter().min().unwrap();
+            let max = b.samples.iter().max().unwrap();
+            let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+            println!(
+                "{}/{}: [{:?} {:?} {:?}] ({} samples)",
+                self.name,
+                id,
+                min,
+                mean,
+                max,
+                b.samples.len(),
+            );
+        }
+        self
+    }
+
+    /// Finishes the group (reporting is per-function in this shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `sample_size` executions of `routine` (one untimed execution in
+    /// `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = <$crate::Criterion as ::core::default::Default>::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion { test_mode: false };
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0usize;
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("once", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline shim for the subset of the [`proptest`](https://docs.rs/proptest) API
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors a
+//! minimal, API-compatible property-testing harness instead of the real crate
+//! (see `vendor/README.md`). Covered surface:
+//!
+//! * the [`proptest!`] macro, including the `#![proptest_config(..)]` header;
+//! * [`Strategy`] for integer `Range`/`RangeInclusive`, tuples, and
+//!   [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`], which report the generated inputs
+//!   on failure;
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate: inputs are sampled from a per-test
+//! deterministic stream (seeded from the test's module path and case index), and
+//! there is **no shrinking** — a failing case reports the exact inputs that
+//! failed instead. That is sufficient for this workspace's suites, which mostly
+//! quantify over small seeds and sizes.
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (the real crate defaults to 256; this shim trades a smaller
+    /// default for faster `cargo test` while keeping multi-case coverage).
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The minimal runner machinery behind [`crate::proptest!`].
+
+    /// Error type produced by [`crate::prop_assert!`] failures inside a test body.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failed-assertion error with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test input stream (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        x: u64,
+    }
+
+    impl TestRng {
+        /// A stream keyed on `(test path, case index)`, so every test function
+        /// and every case draws independent, reproducible inputs.
+        pub fn deterministic(test_path: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                x: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
+///
+/// Shim counterpart of `proptest::strategy::Strategy`: one method, no shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (((u128::from(rng.next_u64()) << 64
+                    | u128::from(rng.next_u64())) % span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (((u128::from(rng.next_u64()) << 64
+                    | u128::from(rng.next_u64())) % span) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_int!(u8, u16, u32, u64, usize);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{test_runner::TestRng, Strategy};
+
+    /// A length range for [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`, returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Declares property-based tests (shim of `proptest::proptest!`).
+///
+/// Supports the subset this workspace uses: an optional
+/// `#![proptest_config(..)]` header followed by `#[test] fn name(arg in
+/// strategy, ..) { .. }` items. Each function runs `config.cases` generated
+/// cases; a `prop_assert!` failure panics with the failing inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    let __proptest_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                        $(&$arg),+
+                    );
+                    let __proptest_result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = __proptest_result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            __proptest_inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting generated inputs
+/// on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} ({})",
+                    stringify!($cond),
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    pub mod prop {
+        //! Namespaced re-exports (`prop::collection::vec`, ...).
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u64..5, z in 1u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec((0usize..6, 0usize..6), 0..12)) {
+            prop_assert!(v.len() < 12);
+            for (a, b) in v {
+                prop_assert!(a < 6 && b < 6);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100) {
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("inputs: x = "), "got: {msg}");
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::test_runner::TestRng;
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("t", 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("t", 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = TestRng::deterministic("t", 1).next_u64();
+        assert_ne!(a[0], c);
+    }
+}
