@@ -37,9 +37,9 @@ proptest! {
         let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(delay_seed);
         let run = run_bcongest(&algo, &g, None, &opts(seed)).unwrap();
         let want = reference::all_pairs_bfs(&g);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
-                prop_assert_eq!(run.outputs[v].entries[s].dist, want[s][v]);
+        for (v, out) in run.outputs.iter().enumerate() {
+            for (s, entry) in out.entries.iter().enumerate() {
+                prop_assert_eq!(entry.dist, want[s][v]);
             }
         }
     }
@@ -51,9 +51,9 @@ proptest! {
         let algo = WeightedApsp::new(wg.max_weight());
         let run = run_bcongest(&algo, &g, Some(wg.weights()), &opts(seed)).unwrap();
         let want = reference::all_pairs_dijkstra(&wg);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
-                prop_assert_eq!(run.outputs[v].dist[s], want[s][v]);
+        for (v, out) in run.outputs.iter().enumerate() {
+            for (s, &d) in out.dist.iter().enumerate() {
+                prop_assert_eq!(d, want[s][v]);
             }
         }
     }

@@ -1,0 +1,31 @@
+//! Criterion bench for the parallel round executor: the same two workloads as
+//! `--bench-engine` (an all-sources BFS collection under `run_bcongest` and a
+//! per-neighbor exchange under `run_congest`), at the quick `BENCH_engine.json`
+//! sizes, timed at 1/2/4/8 executor threads over one shared graph. Message and
+//! round counts are identical across thread counts by the determinism
+//! contract — the cross-check suite and the `--bench-engine` mode assert it —
+//! so this bench only tracks wall-clock shape.
+
+use congest_bench::engine_bench::{run_workloads_once, EngineBenchConfig};
+use congest_graph::generators;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SEED: u64 = 20250608;
+
+fn bench_round_executor(c: &mut Criterion) {
+    let cfg = EngineBenchConfig::quick(SEED);
+    let g = generators::gnp_connected(cfg.n, cfg.p, cfg.seed);
+    let mut group = c.benchmark_group("engine_round_executor");
+    group.sample_size(10);
+    for threads in cfg.thread_counts.clone() {
+        // Warm the pool so its thread-spawn cost stays out of the samples.
+        run_workloads_once(&g, &cfg, threads);
+        group.bench_function(format!("both_workloads_t{threads}"), |b| {
+            b.iter(|| run_workloads_once(&g, &cfg, black_box(threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_executor);
+criterion_main!(benches);

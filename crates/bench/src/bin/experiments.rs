@@ -1,12 +1,66 @@
-//! Experiment harness: regenerates every table in EXPERIMENTS.md.
+//! Experiment harness: regenerates every table in EXPERIMENTS.md, and hosts the
+//! engine-scaling smoke behind `BENCH_engine.json`.
 //!
-//! Usage: `cargo run --release -p congest-bench --bin experiments [--quick]`
+//! Usage:
+//!
+//! ```console
+//! cargo run --release -p congest-bench --bin experiments [--quick] [--threads N]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-engine \
+//!     [--quick] [--out BENCH_engine.json]
+//! ```
+//!
+//! `--threads N` sets the process-wide executor default (0 = hardware threads):
+//! every run constructed with `..Default::default()` inherits it. Tables are
+//! identical at every thread count — the engine's parallel executor is
+//! deterministic — so the flag only changes wall-clock.
+//!
+//! `--bench-engine` skips the tables and instead times the round executor at
+//! 1/2/4/8 threads (see `congest_bench::engine_bench`), writing the JSON
+//! trajectory file (default `BENCH_engine.json`) consumed by the perf-smoke CI
+//! job.
 
+use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let seed = 20250608;
+
+    if let Some(n) = flag_value(&args, "--threads") {
+        let n: usize = n.parse().expect("--threads takes an integer");
+        congest_engine::exec::set_default_threads(n);
+        eprintln!("executor default: {n} thread(s) (0 = hardware)");
+    }
+
+    if args.iter().any(|a| a == "--bench-engine") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_engine.json".into());
+        let cfg = if quick {
+            EngineBenchConfig::quick(seed)
+        } else {
+            EngineBenchConfig::full(seed)
+        };
+        let report = run_engine_bench(&cfg);
+        for w in &report.workloads {
+            println!(
+                "{}: n = {}, m = {}, best speedup {:.2}x over {} samples",
+                w.name,
+                w.n,
+                w.m,
+                w.best_speedup(),
+                w.samples.len()
+            );
+            for s in &w.samples {
+                println!(
+                    "  threads {:>2}: {:>9.3} ms | rounds {} | messages {}",
+                    s.threads, s.wall_ms, s.rounds, s.messages
+                );
+            }
+        }
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
 
     println!("# Experiment tables — Message Optimality and Message-Time Trade-offs for APSP");
     println!();
@@ -85,4 +139,12 @@ fn main() {
     );
 
     println!("done.");
+}
+
+/// The value following `flag` in `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }

@@ -1,0 +1,393 @@
+//! The engine-scaling smoke bench behind `BENCH_engine.json`: sequential vs
+//! parallel wall-clock for the round executor, with the determinism contract
+//! checked on every sample.
+//!
+//! Two workloads exercise the two runners:
+//!
+//! * **bcongest-bfs-collection** — an all-sources BFS collection under
+//!   [`run_bcongest`]: broadcast scans and receive transitions dominate;
+//! * **congest-neighbor-exchange** — a per-neighbor point-to-point exchange
+//!   under [`run_congest`]: the `edge_between` resolution is the hot path.
+//!
+//! Every thread count must produce outputs and [`Metrics`] identical to the
+//! sequential run (`threads = 1`) — the run **panics** otherwise, so a red
+//! perf-smoke CI job doubles as a determinism tripwire. Wall-clock numbers are
+//! environment-dependent (`host_threads` is recorded for that reason: on a
+//! single-core host the parallel samples measure overhead, not speedup);
+//! message/round counts are exact and machine-independent.
+
+use congest_engine::{
+    run_bcongest, run_congest, CongestAlgorithm, ExecutorConfig, LocalView, Metrics, RunOptions,
+};
+use congest_graph::{generators, Graph, NodeId};
+use std::time::Instant;
+
+/// Sizes and thread counts for one [`run_engine_bench`] invocation.
+#[derive(Clone, Debug)]
+pub struct EngineBenchConfig {
+    /// Nodes of the G(n, p) workload graph.
+    pub n: usize,
+    /// Edge probability of the workload graph.
+    pub p: f64,
+    /// Master seed (same role as everywhere else in the workspace).
+    pub seed: u64,
+    /// Thread counts to sample; must start with 1 (the baseline).
+    pub thread_counts: Vec<usize>,
+    /// Rounds of the point-to-point exchange workload.
+    pub exchange_rounds: usize,
+}
+
+impl EngineBenchConfig {
+    /// CI-sized configuration (a few seconds end to end).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            n: 96,
+            p: 0.12,
+            seed,
+            thread_counts: vec![1, 2, 4, 8],
+            exchange_rounds: 48,
+        }
+    }
+
+    /// The full configuration used for committed `BENCH_engine.json` refreshes.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            n: 192,
+            p: 0.1,
+            seed,
+            thread_counts: vec![1, 2, 4, 8],
+            exchange_rounds: 96,
+        }
+    }
+}
+
+/// One timed execution at one thread count.
+#[derive(Clone, Debug)]
+pub struct ThreadSample {
+    /// Executor thread count.
+    pub threads: usize,
+    /// Wall-clock of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Rounds used (identical across thread counts by construction).
+    pub rounds: u64,
+    /// Messages sent (identical across thread counts by construction).
+    pub messages: u64,
+    /// Broadcast operations (0 for the CONGEST workload).
+    pub broadcasts: u64,
+}
+
+/// All samples of one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Workload name (stable key for trajectory tooling).
+    pub name: &'static str,
+    /// Nodes of the workload graph.
+    pub n: usize,
+    /// Edges of the workload graph.
+    pub m: usize,
+    /// One sample per configured thread count, in order.
+    pub samples: Vec<ThreadSample>,
+}
+
+impl WorkloadReport {
+    /// Best sequential-vs-parallel wall-clock ratio over the multi-thread
+    /// samples (> 1 means the parallel executor won).
+    pub fn best_speedup(&self) -> f64 {
+        let base = self.samples.first().map_or(0.0, |s| s.wall_ms);
+        self.samples
+            .iter()
+            .skip(1)
+            .map(|s| base / s.wall_ms.max(1e-9))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The full engine bench outcome, serializable to `BENCH_engine.json`.
+#[derive(Clone, Debug)]
+pub struct EngineBenchReport {
+    /// Seed the workloads ran with.
+    pub seed: u64,
+    /// Hardware threads of the measuring host (wall-clock context: with 1 the
+    /// parallel samples measure dispatch overhead, not speedup).
+    pub host_threads: usize,
+    /// Per-workload samples.
+    pub workloads: Vec<WorkloadReport>,
+}
+
+/// The per-neighbor point-to-point workload: every node sends a distinct word
+/// to each neighbor for a fixed number of rounds and folds what it hears into
+/// a checksum. Deliberately chatty — it exists to stress the runner, not to
+/// compute anything from the paper.
+struct NeighborExchange {
+    rounds: usize,
+}
+
+#[derive(Clone, Debug)]
+struct ExchangeState {
+    me: u32,
+    neighbors: Vec<NodeId>,
+    sent: usize,
+    checksum: u64,
+}
+
+impl CongestAlgorithm for NeighborExchange {
+    type State = ExchangeState;
+    type Msg = u32;
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "neighbor-exchange"
+    }
+    fn init(&self, view: &LocalView<'_>) -> ExchangeState {
+        ExchangeState {
+            me: view.node().raw(),
+            neighbors: view.neighbors().to_vec(),
+            sent: 0,
+            checksum: 0,
+        }
+    }
+    fn sends(&self, s: &ExchangeState, round: usize) -> Vec<(NodeId, u32)> {
+        if s.sent >= self.rounds {
+            return Vec::new();
+        }
+        s.neighbors
+            .iter()
+            .map(|&u| (u, s.me.wrapping_mul(31).wrapping_add(round as u32)))
+            .collect()
+    }
+    fn on_sent(&self, s: &mut ExchangeState, _round: usize) {
+        s.sent += 1;
+    }
+    fn receive(&self, s: &mut ExchangeState, round: usize, msgs: &[(NodeId, u32)]) {
+        for &(from, w) in msgs {
+            s.checksum = s
+                .checksum
+                .wrapping_mul(1099511628211)
+                .wrapping_add(u64::from(from.raw()) ^ (u64::from(w) << 17) ^ round as u64);
+        }
+    }
+    fn is_done(&self, s: &ExchangeState) -> bool {
+        s.sent >= self.rounds
+    }
+    fn output(&self, s: &ExchangeState) -> u64 {
+        s.checksum
+    }
+    fn round_bound(&self, _n: usize, _m: usize) -> usize {
+        self.rounds + 2
+    }
+}
+
+fn opts(seed: u64, threads: usize) -> RunOptions {
+    RunOptions {
+        seed,
+        exec: ExecutorConfig::with_threads(threads),
+        ..Default::default()
+    }
+}
+
+fn sample<O: PartialEq + std::fmt::Debug>(
+    threads: usize,
+    baseline: &mut Option<(Vec<O>, Metrics)>,
+    run: impl FnOnce() -> (Vec<O>, Metrics),
+) -> ThreadSample {
+    let start = Instant::now();
+    let (outputs, metrics) = run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    match baseline {
+        None => *baseline = Some((outputs, metrics.clone())),
+        Some((base_out, base_metrics)) => {
+            assert_eq!(
+                *base_out, outputs,
+                "outputs diverged at {threads} threads — determinism broken"
+            );
+            assert_eq!(
+                *base_metrics, metrics,
+                "metrics diverged at {threads} threads — determinism broken"
+            );
+        }
+    }
+    ThreadSample {
+        threads,
+        wall_ms,
+        rounds: metrics.rounds,
+        messages: metrics.messages,
+        broadcasts: metrics.broadcasts,
+    }
+}
+
+fn bcongest_workload(g: &Graph, cfg: &EngineBenchConfig) -> WorkloadReport {
+    use congest_algos::bfs_collection::BfsCollection;
+    let mut baseline = None;
+    let samples = cfg
+        .thread_counts
+        .iter()
+        .map(|&t| {
+            sample(t, &mut baseline, || {
+                let algo = BfsCollection::new(g.nodes().collect());
+                let run = run_bcongest(&algo, g, None, &opts(cfg.seed, t)).expect("bcongest run");
+                (run.outputs, run.metrics)
+            })
+        })
+        .collect();
+    WorkloadReport {
+        name: "bcongest-bfs-collection",
+        n: g.n(),
+        m: g.m(),
+        samples,
+    }
+}
+
+fn congest_workload(g: &Graph, cfg: &EngineBenchConfig) -> WorkloadReport {
+    let mut baseline = None;
+    let samples = cfg
+        .thread_counts
+        .iter()
+        .map(|&t| {
+            sample(t, &mut baseline, || {
+                let algo = NeighborExchange {
+                    rounds: cfg.exchange_rounds,
+                };
+                let run = run_congest(&algo, g, None, &opts(cfg.seed, t)).expect("congest run");
+                (run.outputs, run.metrics)
+            })
+        })
+        .collect();
+    WorkloadReport {
+        name: "congest-neighbor-exchange",
+        n: g.n(),
+        m: g.m(),
+        samples,
+    }
+}
+
+/// Runs both workloads once at a single executor thread count, with no
+/// baseline comparison — the criterion bench's per-iteration body. Returns the
+/// two message totals so callers can `black_box` something real.
+pub fn run_workloads_once(g: &Graph, cfg: &EngineBenchConfig, threads: usize) -> (u64, u64) {
+    use congest_algos::bfs_collection::BfsCollection;
+    let b = run_bcongest(
+        &BfsCollection::new(g.nodes().collect()),
+        g,
+        None,
+        &opts(cfg.seed, threads),
+    )
+    .expect("bcongest run");
+    let c = run_congest(
+        &NeighborExchange {
+            rounds: cfg.exchange_rounds,
+        },
+        g,
+        None,
+        &opts(cfg.seed, threads),
+    )
+    .expect("congest run");
+    (b.metrics.messages, c.metrics.messages)
+}
+
+/// Runs both workloads at every configured thread count, asserting the
+/// determinism contract sample by sample.
+///
+/// # Panics
+///
+/// Panics if any parallel sample's outputs or metrics differ from the
+/// sequential baseline — that is the point.
+pub fn run_engine_bench(cfg: &EngineBenchConfig) -> EngineBenchReport {
+    assert_eq!(
+        cfg.thread_counts.first(),
+        Some(&1),
+        "the first thread count is the sequential baseline"
+    );
+    // Warm every pool before any timing: executor pools are built lazily on
+    // first use, and thread-spawn cost must not land in the first workload's
+    // samples while later workloads run on warm pools.
+    for &t in &cfg.thread_counts {
+        congest_engine::exec::map_ranges(&ExecutorConfig::with_threads(t), 2, |_| ());
+    }
+    let g = generators::gnp_connected(cfg.n, cfg.p, cfg.seed);
+    EngineBenchReport {
+        seed: cfg.seed,
+        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        workloads: vec![bcongest_workload(&g, cfg), congest_workload(&g, cfg)],
+    }
+}
+
+impl EngineBenchReport {
+    /// Serializes to the `BENCH_engine.json` schema (documented in
+    /// `docs/BENCHMARKING.md`). Hand-rolled: the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"engine-round-executor\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+            s.push_str(&format!("      \"n\": {},\n", w.n));
+            s.push_str(&format!("      \"m\": {},\n", w.m));
+            s.push_str("      \"identical_across_threads\": true,\n");
+            s.push_str(&format!(
+                "      \"best_speedup\": {:.3},\n",
+                w.best_speedup()
+            ));
+            s.push_str("      \"samples\": [\n");
+            for (si, smp) in w.samples.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"rounds\": {}, \"messages\": {}, \"broadcasts\": {}}}{}\n",
+                    smp.threads,
+                    smp.wall_ms,
+                    smp.rounds,
+                    smp.messages,
+                    smp.broadcasts,
+                    if si + 1 < w.samples.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_is_deterministic_and_serializes() {
+        let cfg = EngineBenchConfig {
+            n: 24,
+            p: 0.2,
+            seed: 7,
+            thread_counts: vec![1, 2, 3],
+            exchange_rounds: 6,
+        };
+        // `run_engine_bench` asserts outputs/metrics equality internally.
+        let report = run_engine_bench(&cfg);
+        assert_eq!(report.workloads.len(), 2);
+        for w in &report.workloads {
+            assert_eq!(w.samples.len(), 3);
+            let msgs: Vec<u64> = w.samples.iter().map(|s| s.messages).collect();
+            assert!(msgs.windows(2).all(|p| p[0] == p[1]), "exact counts");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"engine-round-executor\""));
+        assert!(json.contains("congest-neighbor-exchange"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "JSON braces balance"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -326,7 +326,7 @@ pub fn e_l3_8(n: usize, seed: u64) -> Table {
                 &AggSimOptions {
                     seed,
                     charge_hierarchy: false,
-                    max_phases: None,
+                    ..Default::default()
                 },
             )
             .expect("sim");
@@ -639,7 +639,7 @@ pub fn e_abl_strict_budget(n: usize, seed: u64) -> Table {
             &LdcSimOptions {
                 seed,
                 strict_phase_budget: strict,
-                max_phases: None,
+                ..Default::default()
             },
         )
         .expect("sim");

@@ -4,7 +4,10 @@
 //! DESIGN.md §4 for the index): [`experiments`] holds one function per claim,
 //! [`table`] the rendering/fitting helpers. The `experiments` binary prints the
 //! tables recorded in EXPERIMENTS.md; the criterion benches reuse the same
-//! functions at fixed sizes.
+//! functions at fixed sizes. [`engine_bench`] is the engine-scaling smoke
+//! behind `BENCH_engine.json` (sequential vs parallel round execution), shared
+//! by the binary's `--bench-engine` mode and the `engine` criterion bench.
 
+pub mod engine_bench;
 pub mod experiments;
 pub mod table;

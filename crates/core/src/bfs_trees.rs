@@ -61,7 +61,7 @@ pub fn all_bfs_star(g: &Graph, epsilon: f64, seed: u64) -> Result<BfsForestResul
         &AggSimOptions {
             seed,
             charge_hierarchy: true,
-            max_phases: None,
+            ..Default::default()
         },
     )?;
     metrics.merge_sequential(&sim.metrics);
@@ -124,11 +124,11 @@ pub fn all_bfs_batched(
             &AggSimOptions {
                 seed: congest_graph::rng::derive(seed, 0x5eed_0000 + b as u64),
                 charge_hierarchy: false, // the ensemble is charged once above
-                max_phases: None,
+                ..Default::default()
             },
         )?;
-        for v in 0..n {
-            for (j, entry) in sim.outputs[v].entries.iter().enumerate() {
+        for (v, out) in sim.outputs.iter().enumerate() {
+            for (j, entry) in out.entries.iter().enumerate() {
                 let s = chunk_sources[j].index();
                 dist[v][s] = entry.dist;
             }
@@ -158,9 +158,9 @@ mod tests {
         let g = generators::gnp_connected(22, 0.15, 1);
         let res = all_bfs_star(&g, 0.5, 11).unwrap();
         let want = reference::all_pairs_bfs(&g);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
-                assert_eq!(res.dist[v][s], want[s][v]);
+        for (v, row) in res.dist.iter().enumerate() {
+            for (s, &d) in row.iter().enumerate() {
+                assert_eq!(d, want[s][v]);
             }
         }
     }
@@ -171,10 +171,10 @@ mod tests {
         let depth = 4;
         let res = all_bfs_batched(&g, 0.5, depth, 13).unwrap();
         let want = reference::all_pairs_bfs(&g);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
+        for (v, row) in res.dist.iter().enumerate() {
+            for (s, &d) in row.iter().enumerate() {
                 let expect = want[s][v].filter(|&d| d <= depth);
-                assert_eq!(res.dist[v][s], expect, "({s},{v})");
+                assert_eq!(d, expect, "({s},{v})");
             }
         }
     }
@@ -184,9 +184,9 @@ mod tests {
         let g = generators::grid(5, 5);
         let res = all_bfs_batched(&g, 0.34, 3, 17).unwrap();
         let want = reference::all_pairs_bfs(&g);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
-                assert_eq!(res.dist[v][s], want[s][v].filter(|&d| d <= 3));
+        for (v, row) in res.dist.iter().enumerate() {
+            for (s, &d) in row.iter().enumerate() {
+                assert_eq!(d, want[s][v].filter(|&d| d <= 3));
             }
         }
     }

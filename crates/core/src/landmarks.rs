@@ -118,9 +118,9 @@ mod tests {
         let g = generators::gnp_connected(25, 0.12, 3);
         let res = landmark_distances(&g, 0.3, 3).unwrap();
         let want = reference::all_pairs_bfs(&g);
-        for v in 0..g.n() {
-            for u in 0..g.n() {
-                if let Some(t) = res.through[v][u] {
+        for (v, row) in res.through.iter().enumerate() {
+            for (u, &through) in row.iter().enumerate() {
+                if let Some(t) = through {
                     // Never below the true distance…
                     assert!(t >= want[u][v].unwrap());
                 }
@@ -128,8 +128,8 @@ mod tests {
         }
         // …and exact when a landmark lies on a shortest path: check pairs (l, u).
         for &l in &res.landmarks {
-            for u in 0..g.n() {
-                assert_eq!(res.through[l.index()][u], want[u][l.index()]);
+            for (u, row) in want.iter().enumerate() {
+                assert_eq!(res.through[l.index()][u], row[l.index()]);
             }
         }
     }
@@ -140,9 +140,9 @@ mod tests {
         let res = landmark_distances(&g, 1.0, 5).unwrap();
         assert_eq!(res.landmarks.len(), g.n());
         let want = reference::all_pairs_bfs(&g);
-        for v in 0..g.n() {
-            for u in 0..g.n() {
-                assert_eq!(res.through[v][u], want[u][v]);
+        for (v, row) in res.through.iter().enumerate() {
+            for (u, &through) in row.iter().enumerate() {
+                assert_eq!(through, want[u][v]);
             }
         }
     }

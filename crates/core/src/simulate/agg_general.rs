@@ -21,7 +21,7 @@
 //! integration tests).
 
 use crate::simulate::common::{dedupe_msgs, input_words, Pad, SimulationRun, Stepper};
-use congest_algos::leader::setup_network;
+use congest_algos::leader::setup_network_with;
 use congest_decomp::{Hierarchy, Level};
 use congest_engine::{downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire};
 use congest_graph::{ClusterId, EdgeId, Graph, NodeId};
@@ -37,6 +37,9 @@ pub struct AggSimOptions {
     pub charge_hierarchy: bool,
     /// Phase guard; defaults to `4 × round_bound + 64`.
     pub max_phases: Option<usize>,
+    /// How per-node phases execute (stepper and preprocessing runs). Outputs
+    /// and metrics are identical at every thread count.
+    pub exec: congest_engine::ExecutorConfig,
 }
 
 impl Default for AggSimOptions {
@@ -45,6 +48,7 @@ impl Default for AggSimOptions {
             seed: 0,
             charge_hierarchy: true,
             max_phases: None,
+            exec: congest_engine::ExecutorConfig::default(),
         }
     }
 }
@@ -104,18 +108,23 @@ impl Runtime {
 ///
 /// Returns [`EngineError::RoundLimitExceeded`] on a diverging payload; propagates
 /// preprocessing errors.
-pub fn simulate_aggregation_general<A: AggregationAlgorithm>(
+pub fn simulate_aggregation_general<A>(
     algo: &A,
     g: &Graph,
     weights: Option<&[u64]>,
     h: &Hierarchy,
     opts: &AggSimOptions,
-) -> Result<SimulationRun<A::Output>, EngineError> {
+) -> Result<SimulationRun<A::Output>, EngineError>
+where
+    A: AggregationAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     let n = g.n();
     let mut metrics = Metrics::new(g.m());
 
     // ---- Preprocessing ----
-    let setup = setup_network(g, opts.seed)?;
+    let setup = setup_network_with(g, opts.seed, &opts.exec)?;
     metrics.merge_sequential(&setup.metrics);
     if opts.charge_hierarchy {
         metrics.merge_sequential(&h.metrics);
@@ -136,7 +145,7 @@ pub fn simulate_aggregation_general<A: AggregationAlgorithm>(
     }
     let preprocessing = metrics.clone();
 
-    let mut stepper = Stepper::new(algo, g, weights, opts.seed);
+    let mut stepper = Stepper::new(algo, g, weights, opts.seed).with_exec(opts.exec.clone());
     let limit = opts
         .max_phases
         .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);

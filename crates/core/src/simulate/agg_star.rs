@@ -19,7 +19,7 @@
 //! phases and, through Lemma 3.22, the round-optimal end of the trade-off.
 
 use crate::simulate::common::{dedupe_msgs, input_words, Pad, SimulationRun, Stepper};
-use congest_algos::leader::setup_network;
+use congest_algos::leader::setup_network_with;
 use congest_decomp::Hierarchy;
 use congest_engine::{downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire};
 use congest_graph::{ClusterId, EdgeId, Graph, NodeId};
@@ -34,13 +34,18 @@ pub use super::agg_general::AggSimOptions;
 /// Returns [`EngineError::RoundLimitExceeded`] on a diverging payload; propagates
 /// preprocessing errors. Panics if the hierarchy has more than three levels (use
 /// [`super::agg_general::simulate_aggregation_general`] for smaller ε).
-pub fn simulate_aggregation_star<A: AggregationAlgorithm>(
+pub fn simulate_aggregation_star<A>(
     algo: &A,
     g: &Graph,
     weights: Option<&[u64]>,
     h: &Hierarchy,
     opts: &AggSimOptions,
-) -> Result<SimulationRun<A::Output>, EngineError> {
+) -> Result<SimulationRun<A::Output>, EngineError>
+where
+    A: AggregationAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     assert!(
         h.kappa <= 2,
         "the star simulation needs ε ≥ 1/2 (κ ≤ 2); got κ = {}",
@@ -50,7 +55,7 @@ pub fn simulate_aggregation_star<A: AggregationAlgorithm>(
     let mut metrics = Metrics::new(g.m());
 
     // ---- Preprocessing (identical to the general simulation) ----
-    let setup = setup_network(g, opts.seed)?;
+    let setup = setup_network_with(g, opts.seed, &opts.exec)?;
     metrics.merge_sequential(&setup.metrics);
     if opts.charge_hierarchy {
         metrics.merge_sequential(&h.metrics);
@@ -81,7 +86,7 @@ pub fn simulate_aggregation_star<A: AggregationAlgorithm>(
     let in_l1: Vec<bool> = (0..n).map(|v| h.dropout[v] == 1).collect();
     let preprocessing = metrics.clone();
 
-    let mut stepper = Stepper::new(algo, g, weights, opts.seed);
+    let mut stepper = Stepper::new(algo, g, weights, opts.seed).with_exec(opts.exec.clone());
     let limit = opts
         .max_phases
         .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);

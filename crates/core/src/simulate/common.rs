@@ -3,7 +3,7 @@
 //! direct runner's semantics exactly) and the padding payload used to account
 //! multi-word transfers.
 
-use congest_engine::{BcongestAlgorithm, LocalView, Metrics, Wire};
+use congest_engine::{exec, BcongestAlgorithm, ExecutorConfig, LocalView, Metrics, Wire};
 use congest_graph::{rng, Graph, NodeId};
 
 /// An opaque payload of a known size in words — used when the *content* of a
@@ -39,15 +39,27 @@ pub struct SimulationRun<O> {
 
 /// Steps the states of a simulated BCONGEST algorithm, phase by phase, with exactly
 /// the direct runner's semantics (so simulated outputs are bit-identical).
+///
+/// The per-node phases honor an [`ExecutorConfig`] (see [`Stepper::with_exec`]):
+/// the pure broadcast scan, the receive transitions, and the idle scan shard
+/// nodes into contiguous chunks and merge in fixed node order, exactly like the
+/// direct runner — so simulated outputs stay bit-identical at every thread count.
 pub struct Stepper<'a, A: BcongestAlgorithm> {
     algo: &'a A,
     /// Simulated per-node states.
     pub states: Vec<A::State>,
     /// Broadcast count so far.
     pub broadcasts: u64,
+    /// How the per-node phases execute (sequential by default).
+    exec: ExecutorConfig,
 }
 
-impl<'a, A: BcongestAlgorithm> Stepper<'a, A> {
+impl<'a, A> Stepper<'a, A>
+where
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     /// Initializes states with the same per-node seeds the direct runner would use.
     pub fn new(algo: &'a A, g: &Graph, weights: Option<&[u64]>, seed: u64) -> Self {
         let states = (0..g.n())
@@ -60,17 +72,34 @@ impl<'a, A: BcongestAlgorithm> Stepper<'a, A> {
             algo,
             states,
             broadcasts: 0,
+            exec: ExecutorConfig::sequential(),
         }
+    }
+
+    /// Sets the executor used for the per-node phases.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecutorConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Collects this phase's broadcasts and applies the send transitions.
     pub fn collect_broadcasts(&mut self, round: usize) -> Vec<(NodeId, A::Msg)> {
-        let mut out = Vec::new();
-        for (i, st) in self.states.iter().enumerate() {
-            if let Some(m) = self.algo.broadcast(st, round) {
-                out.push((NodeId::new(i), m));
+        let algo = self.algo;
+        let out: Vec<(NodeId, A::Msg)> = exec::map_chunks(&self.exec, &self.states, {
+            |start, chunk| {
+                let mut batch = Vec::new();
+                for (off, st) in chunk.iter().enumerate() {
+                    if let Some(m) = algo.broadcast(st, round) {
+                        batch.push((NodeId::new(start + off), m));
+                    }
+                }
+                batch
             }
-        }
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         for (v, _) in &out {
             self.algo
                 .on_broadcast_sent(&mut self.states[v.index()], round);
@@ -81,23 +110,29 @@ impl<'a, A: BcongestAlgorithm> Stepper<'a, A> {
 
     /// Delivers per-node inboxes (only non-empty ones, like the direct runner).
     /// Returns whether anything was delivered.
-    pub fn deliver(&mut self, round: usize, inboxes: Vec<Vec<(NodeId, A::Msg)>>) -> bool {
-        let mut any = false;
-        for (i, inbox) in inboxes.into_iter().enumerate() {
-            if !inbox.is_empty() {
-                any = true;
-                self.algo.receive(&mut self.states[i], round, &inbox);
+    pub fn deliver(&mut self, round: usize, mut inboxes: Vec<Vec<(NodeId, A::Msg)>>) -> bool {
+        assert_eq!(inboxes.len(), self.states.len(), "one inbox per node");
+        let algo = self.algo;
+        exec::map_chunks_mut2(&self.exec, &mut self.states, &mut inboxes, {
+            |_start, sts, inbs| {
+                let mut any = false;
+                for (st, inbox) in sts.iter_mut().zip(inbs.iter_mut()) {
+                    if !inbox.is_empty() {
+                        any = true;
+                        algo.receive(st, round, inbox);
+                    }
+                }
+                any
             }
-        }
-        any
+        })
+        .into_iter()
+        .any(|b| b)
     }
 
     /// The next simulated round at which anything can happen, absent further input.
     pub fn next_activity(&self, after: usize) -> Option<usize> {
-        self.states
-            .iter()
-            .filter_map(|st| self.algo.next_activity(st, after))
-            .min()
+        let algo = self.algo;
+        exec::min_chunks(&self.exec, &self.states, |st| algo.next_activity(st, after))
     }
 
     /// Finalizes outputs and the `Out` word count.

@@ -18,7 +18,7 @@
 //! seed, outputs are asserted equal to a direct run's (see the integration tests).
 
 use crate::simulate::common::{input_words, Pad, SimulationRun, Stepper};
-use congest_algos::leader::setup_network;
+use congest_algos::leader::setup_network_with;
 use congest_decomp::ldc::{build_ldc, LdcDecomposition};
 use congest_engine::{downcast, upcast, BcongestAlgorithm, EngineError, Forest, Metrics};
 use congest_graph::{Graph, NodeId};
@@ -34,6 +34,9 @@ pub struct LdcSimOptions {
     pub strict_phase_budget: bool,
     /// Phase guard; defaults to `4 × round_bound + 64`.
     pub max_phases: Option<usize>,
+    /// How per-node phases execute (stepper and preprocessing runs). Outputs
+    /// and metrics are identical at every thread count.
+    pub exec: congest_engine::ExecutorConfig,
 }
 
 /// Simulates `algo` over `g` per Theorem 2.1.
@@ -42,17 +45,22 @@ pub struct LdcSimOptions {
 ///
 /// Returns [`EngineError::RoundLimitExceeded`] if the payload does not quiesce
 /// within the phase guard; propagates preprocessing errors.
-pub fn simulate_bcongest_via_ldc<A: BcongestAlgorithm>(
+pub fn simulate_bcongest_via_ldc<A>(
     algo: &A,
     g: &Graph,
     weights: Option<&[u64]>,
     opts: &LdcSimOptions,
-) -> Result<SimulationRun<A::Output>, EngineError> {
+) -> Result<SimulationRun<A::Output>, EngineError>
+where
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     let n = g.n();
     let mut metrics = Metrics::new(g.m());
 
     // ---- Preprocessing ----
-    let setup = setup_network(g, opts.seed)?;
+    let setup = setup_network_with(g, opts.seed, &opts.exec)?;
     metrics.merge_sequential(&setup.metrics);
 
     let ldc: LdcDecomposition = build_ldc(g, opts.seed)?;
@@ -69,7 +77,7 @@ pub fn simulate_bcongest_via_ldc<A: BcongestAlgorithm>(
     let preprocessing = metrics.clone();
 
     // Centers now (conceptually) hold all member inputs; replicate member states.
-    let mut stepper = Stepper::new(algo, g, weights, opts.seed);
+    let mut stepper = Stepper::new(algo, g, weights, opts.seed).with_exec(opts.exec.clone());
 
     let limit = opts
         .max_phases

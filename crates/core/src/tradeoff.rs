@@ -90,11 +90,11 @@ pub fn tradeoff_apsp(g: &Graph, epsilon: f64, seed: u64) -> Result<TradeoffResul
         let mut metrics = near.metrics;
         metrics.merge_sequential(&far.metrics);
         let mut dist = near.dist;
-        for v in 0..n {
-            for s in 0..n {
-                if let Some(t) = far.through[v][s] {
-                    if dist[v][s].is_none_or(|d| t < d) {
-                        dist[v][s] = Some(t);
+        for (row, through_row) in dist.iter_mut().zip(&far.through) {
+            for (slot, &through) in row.iter_mut().zip(through_row) {
+                if let Some(t) = through {
+                    if slot.is_none_or(|d| t < d) {
+                        *slot = Some(t);
                     }
                 }
             }
@@ -123,13 +123,9 @@ mod tests {
 
     fn check_exact(g: &Graph, res: &TradeoffResult) {
         let want = reference::all_pairs_bfs(g);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
-                assert_eq!(
-                    res.dist[v][s], want[s][v],
-                    "dist({s},{v}) via {:?}",
-                    res.route
-                );
+        for (v, row) in res.dist.iter().enumerate() {
+            for (s, &d) in row.iter().enumerate() {
+                assert_eq!(d, want[s][v], "dist({s},{v}) via {:?}", res.route);
             }
         }
     }

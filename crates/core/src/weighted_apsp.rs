@@ -17,6 +17,9 @@ pub struct WeightedApspConfig {
     pub seed: u64,
     /// Pad phases to the worst-case budget (see Theorem 2.1 options).
     pub strict_phase_budget: bool,
+    /// How per-node phases execute (forwarded to the Theorem 2.1 simulation).
+    /// Distances and metrics are identical at every thread count.
+    pub exec: congest_engine::ExecutorConfig,
 }
 
 /// Result of a weighted APSP computation.
@@ -50,6 +53,7 @@ pub fn weighted_apsp(
             seed: cfg.seed,
             strict_phase_budget: cfg.strict_phase_budget,
             max_phases: None,
+            exec: cfg.exec.clone(),
         },
     )?;
     Ok(WeightedApspResult {
@@ -106,9 +110,9 @@ mod tests {
         let direct = weighted_apsp_direct(&wg, 5).unwrap();
         assert_eq!(sim.distances, direct.distances);
         let want = reference::all_pairs_dijkstra(&wg);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
-                assert_eq!(sim.distances[v][s], want[s][v]);
+        for (v, row) in sim.distances.iter().enumerate() {
+            for (s, &d) in row.iter().enumerate() {
+                assert_eq!(d, want[s][v]);
             }
         }
     }

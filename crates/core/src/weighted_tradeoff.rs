@@ -157,7 +157,7 @@ pub fn weighted_apsp_tradeoff(
     let opts = AggSimOptions {
         seed: cfg.seed,
         charge_hierarchy: true,
-        max_phases: None,
+        ..Default::default()
     };
     let sim: SimulationRun<WApspOutput> = if cfg.epsilon >= 0.5 {
         simulate_aggregation_star(&algo, g, Some(wg.weights()), &h, &opts)?

@@ -274,8 +274,8 @@ impl Clustering {
         let mut clusters: Vec<(NodeId, Vec<NodeId>)> =
             uniq.iter().map(|&c| (c, Vec::new())).collect();
         let mut cluster_of = Vec::with_capacity(n);
-        for v in 0..n {
-            let ci = cluster_index(centers[v]);
+        for (v, &center) in centers.iter().enumerate() {
+            let ci = cluster_index(center);
             cluster_of.push(ClusterId::new(ci));
             clusters[ci].1.push(NodeId::new(v));
         }

@@ -15,10 +15,15 @@
 //! asserted wholesale by the integration tests.
 
 use crate::error::EngineError;
+use crate::exec::{self, ExecutorConfig};
 use crate::metrics::Metrics;
 use crate::view::LocalView;
 use crate::wire::Wire;
-use congest_graph::{rng, Graph, NodeId};
+use congest_graph::{rng, EdgeId, Graph, NodeId};
+
+/// One chunk's expanded deliveries: `(receiver, sender, edge, message)`,
+/// receiver-push order preserved from the sequential loop.
+pub(crate) type Outbox<M> = Vec<(NodeId, NodeId, EdgeId, M)>;
 
 /// A BCONGEST algorithm as a pure per-node state machine.
 ///
@@ -115,6 +120,10 @@ pub struct RunOptions {
     pub max_rounds: Option<usize>,
     /// Master seed; per-node seeds are derived from it.
     pub seed: u64,
+    /// How the per-node phases execute. Outputs and [`Metrics`] are
+    /// byte-identical at every thread count; `threads = 1` (the default) is the
+    /// sequential path.
+    pub exec: ExecutorConfig,
 }
 
 /// Result of a direct BCONGEST execution.
@@ -136,18 +145,25 @@ pub struct BcongestRun<O> {
 ///
 /// Returns [`EngineError::RoundLimitExceeded`] if the algorithm does not quiesce within
 /// the round limit.
-pub fn run_bcongest<A: BcongestAlgorithm>(
+pub fn run_bcongest<A>(
     algo: &A,
     g: &Graph,
     weights: Option<&[u64]>,
     opts: &RunOptions,
-) -> Result<BcongestRun<A::Output>, EngineError> {
-    run_bcongest_observed(algo, g, weights, opts, |_, _, _| {})
+) -> Result<BcongestRun<A::Output>, EngineError>
+where
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
+    run_bcongest_inner(algo, g, weights, opts, None)
 }
 
 /// Like [`run_bcongest`], but invokes `observe(node, round, inbox)` for every non-empty
 /// inbox — used by the Theorem 1.4 experiments to count distinct BFS sources per
-/// node-round.
+/// node-round. Observers see inboxes in node order: the receive phase runs
+/// sequentially when one is attached (the other phases still honor
+/// [`RunOptions::exec`]).
 pub fn run_bcongest_observed<A, F>(
     algo: &A,
     g: &Graph,
@@ -156,17 +172,46 @@ pub fn run_bcongest_observed<A, F>(
     mut observe: F,
 ) -> Result<BcongestRun<A::Output>, EngineError>
 where
-    A: BcongestAlgorithm,
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
     F: FnMut(NodeId, usize, &[(NodeId, A::Msg)]),
 {
+    run_bcongest_inner(algo, g, weights, opts, Some(&mut observe))
+}
+
+/// The round loop behind both entry points. Every phase shards nodes into
+/// contiguous chunks via [`exec`] and merges per-chunk results in fixed node
+/// order, so outputs and metrics are byte-identical at every thread count.
+#[allow(clippy::type_complexity)]
+fn run_bcongest_inner<A>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    opts: &RunOptions,
+    mut observer: Option<&mut dyn FnMut(NodeId, usize, &[(NodeId, A::Msg)])>,
+) -> Result<BcongestRun<A::Output>, EngineError>
+where
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     let n = g.n();
+    let cfg = &opts.exec;
+    // Resolved once: with `threads = 0` each query costs a syscall.
+    let parallel = cfg.is_parallel();
     let mut metrics = Metrics::new(g.m());
-    let mut states: Vec<A::State> = (0..n)
-        .map(|i| {
-            let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
-            algo.init(&view)
-        })
-        .collect();
+    let mut states: Vec<A::State> = exec::map_ranges(cfg, n, |range| {
+        range
+            .map(|i| {
+                let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
+                algo.init(&view)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let limit = opts
         .max_rounds
@@ -184,41 +229,94 @@ where
             });
         }
 
-        // 1. Collect broadcasts (pure reads), then apply send transitions.
-        let mut broadcasters: Vec<(NodeId, A::Msg)> = Vec::new();
-        for i in 0..n {
-            if let Some(msg) = algo.broadcast(&states[i], round) {
-                debug_assert_eq!(
-                    msg.words(),
-                    1,
-                    "BCONGEST broadcasts must be single O(log n)-bit messages"
-                );
-                broadcasters.push((NodeId::new(i), msg));
+        // 1. Collect broadcasts (pure reads, chunked over nodes; concatenating
+        //    per-chunk batches in chunk order reproduces the sequential node
+        //    order exactly), then apply send transitions.
+        let broadcasters: Vec<(NodeId, A::Msg)> = exec::map_chunks(cfg, &states, |start, chunk| {
+            let mut out = Vec::new();
+            for (off, st) in chunk.iter().enumerate() {
+                if let Some(msg) = algo.broadcast(st, round) {
+                    debug_assert_eq!(
+                        msg.words(),
+                        1,
+                        "BCONGEST broadcasts must be single O(log n)-bit messages"
+                    );
+                    out.push((NodeId::new(start + off), msg));
+                }
             }
-        }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         for (v, _) in &broadcasters {
             algo.on_broadcast_sent(&mut states[v.index()], round);
         }
 
-        // 2. Deliver: each broadcast crosses every incident edge.
-        for (v, msg) in &broadcasters {
-            metrics.broadcasts += 1;
-            for (e, u) in g.incident(*v) {
-                metrics.add_messages(e, msg.words() as u64);
-                inboxes[u.index()].push((*v, msg.clone()));
+        // 2. Deliver: each broadcast crosses every incident edge. Sequentially
+        //    the deliveries push straight into the inboxes; in parallel,
+        //    per-chunk outboxes are expanded concurrently and merged in chunk
+        //    order — each inbox receives messages in broadcaster order either
+        //    way, so the two paths are indistinguishable.
+        metrics.broadcasts += broadcasters.len() as u64;
+        if !parallel {
+            for (v, msg) in &broadcasters {
+                for (e, u) in g.incident(*v) {
+                    metrics.add_messages(e, msg.words() as u64);
+                    inboxes[u.index()].push((*v, msg.clone()));
+                }
+            }
+        } else {
+            let outboxes: Vec<Outbox<A::Msg>> =
+                exec::map_chunks(cfg, &broadcasters, |_start, chunk| {
+                    let mut out = Vec::new();
+                    for (v, msg) in chunk {
+                        for (e, u) in g.incident(*v) {
+                            out.push((u, *v, e, msg.clone()));
+                        }
+                    }
+                    out
+                });
+            for outbox in &outboxes {
+                metrics
+                    .add_messages_batch(outbox.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
+            }
+            for outbox in outboxes {
+                for (u, v, _e, msg) in outbox {
+                    inboxes[u.index()].push((v, msg));
+                }
             }
         }
 
-        // 3. Receive.
-        let mut any_received = false;
-        for i in 0..n {
-            if !inboxes[i].is_empty() {
-                any_received = true;
-                let inbox = std::mem::take(&mut inboxes[i]);
-                observe(NodeId::new(i), round, &inbox);
-                algo.receive(&mut states[i], round, &inbox);
+        // 3. Receive: per-node state transitions, sharded with their inboxes.
+        //    With an observer attached the phase stays sequential so the
+        //    callback sees inboxes in node order.
+        let any_received = if let Some(obs) = observer.as_mut() {
+            let mut any = false;
+            for i in 0..n {
+                if !inboxes[i].is_empty() {
+                    any = true;
+                    let inbox = std::mem::take(&mut inboxes[i]);
+                    obs(NodeId::new(i), round, &inbox);
+                    algo.receive(&mut states[i], round, &inbox);
+                }
             }
-        }
+            any
+        } else {
+            exec::map_chunks_mut2(cfg, &mut states, &mut inboxes, |_start, sts, inbs| {
+                let mut any = false;
+                for (st, inbox) in sts.iter_mut().zip(inbs.iter_mut()) {
+                    if !inbox.is_empty() {
+                        any = true;
+                        let inbox = std::mem::take(inbox);
+                        algo.receive(st, round, &inbox);
+                    }
+                }
+                any
+            })
+            .into_iter()
+            .any(|b| b)
+        };
 
         // 4. Termination / idle-round skipping. Only rounds up to the last activity
         // count: a real execution halts after its final message.
@@ -227,9 +325,7 @@ where
             round += 1;
             continue;
         }
-        let next = (0..n)
-            .filter_map(|i| algo.next_activity(&states[i], round + 1))
-            .min();
+        let next = exec::min_chunks(cfg, &states, |st| algo.next_activity(st, round + 1));
         match next {
             Some(r) => {
                 debug_assert!(r > round, "next_activity must move forward");

@@ -8,6 +8,7 @@
 //! accounting.
 
 use crate::error::EngineError;
+use crate::exec;
 use crate::metrics::Metrics;
 use crate::view::LocalView;
 use crate::wire::Wire;
@@ -70,20 +71,33 @@ pub struct CongestRun<O> {
 /// [`EngineError::RoundLimitExceeded`] if the algorithm does not quiesce in time;
 /// [`EngineError::InvalidPath`] never occurs (sends to non-neighbors panic in debug
 /// builds and are dropped in release builds).
-pub fn run_congest<A: CongestAlgorithm>(
+pub fn run_congest<A>(
     algo: &A,
     g: &Graph,
     weights: Option<&[u64]>,
     opts: &crate::RunOptions,
-) -> Result<CongestRun<A::Output>, EngineError> {
+) -> Result<CongestRun<A::Output>, EngineError>
+where
+    A: CongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     let n = g.n();
+    let cfg = &opts.exec;
+    // Resolved once: with `threads = 0` each query costs a syscall.
+    let parallel = cfg.is_parallel();
     let mut metrics = Metrics::new(g.m());
-    let mut states: Vec<A::State> = (0..n)
-        .map(|i| {
-            let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
-            algo.init(&view)
-        })
-        .collect();
+    let mut states: Vec<A::State> = exec::map_ranges(cfg, n, |range| {
+        range
+            .map(|i| {
+                let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
+                algo.init(&view)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let limit = opts
         .max_rounds
         .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);
@@ -99,48 +113,97 @@ pub fn run_congest<A: CongestAlgorithm>(
             });
         }
         type SendBatch<M> = Vec<(NodeId, M)>;
-        let mut any_sent = false;
-        let mut all_sends: Vec<(NodeId, SendBatch<A::Msg>)> = Vec::new();
-        for i in 0..n {
-            let sends = algo.sends(&states[i], round);
-            if !sends.is_empty() {
-                any_sent = true;
-                all_sends.push((NodeId::new(i), sends));
-            }
-        }
+        // Pure per-node send scans, chunked over nodes; concatenating the
+        // per-chunk batches in chunk order reproduces the sequential order.
+        let all_sends: Vec<(NodeId, SendBatch<A::Msg>)> =
+            exec::map_chunks(cfg, &states, |start, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(off, st)| {
+                        let sends = algo.sends(st, round);
+                        (!sends.is_empty()).then(|| (NodeId::new(start + off), sends))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let any_sent = !all_sends.is_empty();
         for (v, _) in &all_sends {
             algo.on_sent(&mut states[v.index()], round);
         }
-        for (v, sends) in &all_sends {
-            let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
-            for (u, m) in sends {
-                let e = g
-                    .edge_between(*v, *u)
-                    .unwrap_or_else(|| panic!("{v:?} sent to non-neighbor {u:?}"));
-                debug_assert!(!used.contains(&e), "two messages on one edge in one round");
-                used.push(e);
-                debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
-                metrics.add_messages(e, m.words() as u64);
-                inboxes[u.index()].push((*v, m.clone()));
+        // Edge resolution and delivery. Sequentially, resolve and push inline;
+        // in parallel, expand per-chunk outboxes concurrently (the
+        // `edge_between` lookups are the hot part) and merge them in fixed
+        // sender order — inbox order is sender order either way.
+        if !parallel {
+            for (v, sends) in &all_sends {
+                let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
+                for (u, m) in sends {
+                    let e = g
+                        .edge_between(*v, *u)
+                        .unwrap_or_else(|| panic!("{v:?} sent to non-neighbor {u:?}"));
+                    debug_assert!(!used.contains(&e), "two messages on one edge in one round");
+                    used.push(e);
+                    debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
+                    metrics.add_messages(e, m.words() as u64);
+                    inboxes[u.index()].push((*v, m.clone()));
+                }
+            }
+        } else {
+            let outboxes: Vec<crate::bcongest::Outbox<A::Msg>> =
+                exec::map_chunks(cfg, &all_sends, |_start, chunk| {
+                    let mut out = Vec::new();
+                    for (v, sends) in chunk {
+                        let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
+                        for (u, m) in sends {
+                            let e = g
+                                .edge_between(*v, *u)
+                                .unwrap_or_else(|| panic!("{v:?} sent to non-neighbor {u:?}"));
+                            debug_assert!(
+                                !used.contains(&e),
+                                "two messages on one edge in one round"
+                            );
+                            used.push(e);
+                            debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
+                            out.push((*u, *v, e, m.clone()));
+                        }
+                    }
+                    out
+                });
+            for outbox in &outboxes {
+                metrics
+                    .add_messages_batch(outbox.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
+            }
+            for outbox in outboxes {
+                for (u, v, _e, msg) in outbox {
+                    inboxes[u.index()].push((v, msg));
+                }
             }
         }
-        let mut any_received = false;
-        for i in 0..n {
-            if !inboxes[i].is_empty() {
-                any_received = true;
-                let inbox = std::mem::take(&mut inboxes[i]);
-                algo.receive(&mut states[i], round, &inbox);
+        // Per-node receive transitions, sharded with their inboxes.
+        let any_received = exec::map_chunks_mut2(cfg, &mut states, &mut inboxes, {
+            |_start, sts, inbs| {
+                let mut any = false;
+                for (st, inbox) in sts.iter_mut().zip(inbs.iter_mut()) {
+                    if !inbox.is_empty() {
+                        any = true;
+                        let inbox = std::mem::take(inbox);
+                        algo.receive(st, round, &inbox);
+                    }
+                }
+                any
             }
-        }
+        })
+        .into_iter()
+        .any(|b| b);
         if any_sent || any_received {
             rounds_used = round as u64 + 1;
             round += 1;
             continue;
         }
-        match (0..n)
-            .filter_map(|i| algo.next_activity(&states[i], round + 1))
-            .min()
-        {
+        match exec::min_chunks(cfg, &states, |st| algo.next_activity(st, round + 1)) {
             Some(r) => round = r,
             None => break,
         }

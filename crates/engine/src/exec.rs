@@ -1,0 +1,317 @@
+//! Deterministic chunked-parallel execution of per-node phases.
+//!
+//! The CONGEST/BCONGEST runners step every node once per round, and the
+//! expensive parts of a round — the pure [`sends`](crate::CongestAlgorithm::sends)
+//! / [`broadcast`](crate::BcongestAlgorithm::broadcast) scans and the per-node
+//! [`receive`](crate::BcongestAlgorithm::receive) transitions — are
+//! embarrassingly parallel: node `i`'s contribution depends only on node `i`'s
+//! state. This module shards the node range into **contiguous chunks**, runs
+//! the chunks on a cached thread pool (the vendored `rayon` shim), and merges
+//! per-chunk results **in fixed chunk order**, so every quantity the engine
+//! reports — outputs, rounds, message counts, per-edge congestion — is
+//! byte-identical to the sequential path at any thread count. The
+//! `tests/parallel_determinism.rs` suite enforces this.
+//!
+//! [`ExecutorConfig::sequential`] (`threads = 1`, the default) bypasses the
+//! pool entirely: the chunk helpers degenerate to a single inline call, so the
+//! sequential path is the `threads = 1` special case of the parallel one, not
+//! a separate code path.
+
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide default for [`ExecutorConfig::default`]: `1` (sequential)
+/// unless overridden by [`set_default_threads`].
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Overrides the thread count [`ExecutorConfig::default`] hands out (`0` means
+/// one thread per hardware thread). Intended for binary entry points — e.g.
+/// the experiments harness's `--threads` flag — so every run constructed with
+/// `..Default::default()` inherits the setting. Determinism is unaffected:
+/// outputs and metrics are identical at every thread count.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The current process-wide default thread count (see [`set_default_threads`]).
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
+
+/// How a runner executes its per-node phases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Worker threads for the per-node phases. `1` = sequential (no pool);
+    /// `0` = one per available hardware thread; `k > 1` = exactly `k`.
+    pub threads: usize,
+}
+
+impl Default for ExecutorConfig {
+    /// The process-wide default (sequential unless [`set_default_threads`]
+    /// was called).
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The sequential executor (`threads = 1`).
+    pub const fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// An executor with exactly `threads` workers (`0` = hardware threads).
+    pub const fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The resolved worker count (`0` resolved to the hardware thread count).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Whether the chunk helpers will fan out to a pool.
+    pub fn is_parallel(&self) -> bool {
+        self.effective_threads() > 1
+    }
+}
+
+/// Contiguous chunk size for `len` items over `threads` workers: one chunk
+/// per worker.
+fn chunk_size_for(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads).max(1)
+}
+
+/// Cached pools, one per distinct thread count. Runs share pools across rounds
+/// and calls, so the per-round cost is job dispatch, not thread spawning.
+fn pool_for(threads: usize) -> Arc<ThreadPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pools = pools.lock().expect("pool cache poisoned");
+    Arc::clone(pools.entry(threads).or_insert_with(|| {
+        Arc::new(
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build executor pool"),
+        )
+    }))
+}
+
+/// Applies `f` to contiguous chunks of `items` (passing each chunk's start
+/// index) and returns the per-chunk results **in chunk order**. Sequentially
+/// this is one chunk spanning the whole slice; in parallel, one chunk per
+/// worker. Callers must merge chunk results with an operation for which the
+/// chunk boundaries are invisible (concatenation, min, sum, …) — then the
+/// merged value is identical at every thread count.
+pub fn map_chunks<T, R, F>(cfg: &ExecutorConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    map_ranges(cfg, items.len(), |r| f(r.start, &items[r]))
+}
+
+/// [`map_chunks`] over an index range instead of a slice: applies `f` to
+/// contiguous sub-ranges of `0..len` and returns per-chunk results in order.
+/// Used where the per-node work has no backing slice yet (state init).
+pub fn map_ranges<R, F>(cfg: &ExecutorConfig, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = cfg.effective_threads();
+    if threads <= 1 || len <= 1 {
+        return vec![f(0..len)];
+    }
+    let size = chunk_size_for(len, threads);
+    let chunk_count = len.div_ceil(size);
+    let mut results: Vec<Option<R>> = (0..chunk_count).map(|_| None).collect();
+    pool_for(threads).scope(|s| {
+        let mut rest = results.as_mut_slice();
+        for ci in 0..chunk_count {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per chunk");
+            rest = tail;
+            let f = &f;
+            s.spawn(move |_| {
+                let start = ci * size;
+                *slot = Some(f(start..(start + size).min(len)));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk completes"))
+        .collect()
+}
+
+/// Mutable two-slice variant: chunks `a` and `b` (equal length) with the same
+/// boundaries, applies `f(start, a_chunk, b_chunk)` per chunk, and returns
+/// per-chunk results in chunk order. This is the receive phase's shape: states
+/// and inboxes, sharded together.
+pub fn map_chunks_mut2<T, U, R, F>(cfg: &ExecutorConfig, a: &mut [T], b: &mut [U], f: F) -> Vec<R>
+where
+    T: Send,
+    U: Send,
+    R: Send,
+    F: Fn(usize, &mut [T], &mut [U]) -> R + Sync,
+{
+    assert_eq!(a.len(), b.len(), "slices must shard together");
+    let threads = cfg.effective_threads();
+    if threads <= 1 || a.len() <= 1 {
+        return vec![f(0, a, b)];
+    }
+    let size = chunk_size_for(a.len(), threads);
+    let chunk_count = a.len().div_ceil(size);
+    let mut results: Vec<Option<R>> = (0..chunk_count).map(|_| None).collect();
+    pool_for(threads).scope(|s| {
+        let mut rest = results.as_mut_slice();
+        let mut ra = a;
+        let mut rb = b;
+        let mut start = 0usize;
+        while !ra.is_empty() {
+            let take = size.min(ra.len());
+            let (ca, ta) = ra.split_at_mut(take);
+            let (cb, tb) = rb.split_at_mut(take);
+            ra = ta;
+            rb = tb;
+            let (slot, tail) = rest.split_first_mut().expect("one slot per chunk");
+            rest = tail;
+            let f = &f;
+            let chunk_start = start;
+            s.spawn(move |_| *slot = Some(f(chunk_start, ca, cb)));
+            start += take;
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk completes"))
+        .collect()
+}
+
+/// Minimum of `f` over `items`, computed chunk-wise (via the shim's
+/// `par_chunks`) when parallel. Identical to
+/// `items.iter().filter_map(f).min()` at every thread count.
+pub fn min_chunks<T, K, F>(cfg: &ExecutorConfig, items: &[T], f: F) -> Option<K>
+where
+    T: Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> Option<K> + Sync,
+{
+    let threads = cfg.effective_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().filter_map(f).min();
+    }
+    let size = chunk_size_for(items.len(), threads);
+    let mins: Vec<Option<K>> = pool_for(threads).install(|| {
+        items
+            .par_chunks(size)
+            .map(|chunk| chunk.iter().filter_map(&f).min())
+            .collect()
+    });
+    mins.into_iter().flatten().min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfgs() -> Vec<ExecutorConfig> {
+        vec![
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(2),
+            ExecutorConfig::with_threads(4),
+            ExecutorConfig::with_threads(7),
+        ]
+    }
+
+    #[test]
+    fn map_chunks_concatenation_matches_sequential() {
+        let items: Vec<u32> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3).collect();
+        for cfg in cfgs() {
+            let got: Vec<u64> = map_chunks(&cfg, &items, |start, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(off, &x)| {
+                        assert_eq!(items[start + off], x, "start index is the global index");
+                        u64::from(x) * 3
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            assert_eq!(got, expected, "threads = {}", cfg.threads);
+        }
+    }
+
+    #[test]
+    fn map_ranges_covers_exactly_once() {
+        for cfg in cfgs() {
+            let covered: Vec<usize> = map_ranges(&cfg, 57, |r| r.collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(covered, (0..57).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut2_shards_together() {
+        for cfg in cfgs() {
+            let mut a: Vec<u32> = (0..41).collect();
+            let mut b: Vec<u32> = (0..41).rev().collect();
+            let chunk_sums = map_chunks_mut2(&cfg, &mut a, &mut b, |start, ca, cb| {
+                assert_eq!(ca.len(), cb.len());
+                for (off, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    assert_eq!(*x as usize, start + off);
+                    *x += *y;
+                    *y = 0;
+                }
+                ca.iter().map(|&v| u64::from(v)).sum::<u64>()
+            });
+            assert!(a.iter().all(|&v| v == 40), "threads = {}", cfg.threads);
+            assert!(b.iter().all(|&v| v == 0));
+            assert_eq!(chunk_sums.iter().sum::<u64>(), 40 * 41);
+        }
+    }
+
+    #[test]
+    fn min_chunks_matches_sequential() {
+        let items: Vec<i64> = vec![9, 4, 7, 4, 12, -3, 8, 40, 2];
+        for cfg in cfgs() {
+            let got = min_chunks(&cfg, &items, |&x| (x > 0).then_some(x));
+            assert_eq!(got, Some(2));
+            let none = min_chunks(&cfg, &items, |&x| (x > 100).then_some(x));
+            assert_eq!(none, None);
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_hardware() {
+        let cfg = ExecutorConfig::with_threads(0);
+        assert!(cfg.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        for cfg in cfgs() {
+            let r: Vec<Vec<u32>> = map_chunks(&cfg, &[] as &[u32], |_, c| c.to_vec());
+            assert_eq!(r.into_iter().flatten().count(), 0);
+            assert_eq!(min_chunks(&cfg, &[] as &[u32], |&x| Some(x)), None);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`router`] — store-and-forward packet routing under per-edge capacity (real
 //!   schedules, LMR/Theorem-1.3 style);
 //! * [`treeops`] — the upcast/downcast primitives of Lemmas 1.5/1.6 over [`Forest`]s;
+//! * [`exec`] / [`ExecutorConfig`] — deterministic chunked-parallel execution of the
+//!   per-node phases (outputs and metrics are byte-identical at every thread count);
 //! * [`Metrics`] — composable cost accounting;
 //! * [`Wire`] — message sizes in `O(log n)`-bit words.
 //!
@@ -54,6 +56,7 @@
 mod bcongest;
 mod congest;
 mod error;
+pub mod exec;
 mod metrics;
 pub mod router;
 pub mod treeops;
@@ -66,6 +69,7 @@ pub use bcongest::{
 };
 pub use congest::{run_congest, CongestAlgorithm, CongestRun};
 pub use error::EngineError;
+pub use exec::ExecutorConfig;
 pub use metrics::Metrics;
 pub use treeops::{downcast, upcast, Delivered, DowncastOutcome, Forest, UpcastOutcome};
 pub use view::LocalView;

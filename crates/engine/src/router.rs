@@ -6,6 +6,7 @@
 //! reflect `O(congestion + dilation)` behaviour rather than assuming it.
 
 use crate::error::EngineError;
+use crate::exec::{self, ExecutorConfig};
 use crate::metrics::Metrics;
 use congest_graph::{Graph, NodeId};
 use std::collections::VecDeque;
@@ -43,6 +44,24 @@ pub struct RouteReport {
 ///
 /// Returns [`EngineError::InvalidPath`] if some path is not a walk in `g`.
 pub fn route(g: &Graph, tasks: &[RouteTask]) -> Result<RouteReport, EngineError> {
+    route_with(g, tasks, &ExecutorConfig::default())
+}
+
+/// [`route`] with an explicit executor: the per-task path→directed-edge
+/// precompute (the pure part — one `edge_between` lookup per hop) is sharded
+/// over task chunks. The FIFO scheduling loop itself stays sequential: its
+/// global queue order *is* the synchronous-round semantics being measured.
+/// Reports are identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidPath`] (lowest failing task index, like the
+/// sequential path) if some path is not a walk in `g`.
+pub fn route_with(
+    g: &Graph,
+    tasks: &[RouteTask],
+    cfg: &ExecutorConfig,
+) -> Result<RouteReport, EngineError> {
     // Directed edge index: 2*e for canonical u->v, 2*e+1 for v->u.
     let dir_edge = |from: NodeId, to: NodeId, task: usize| -> Result<usize, EngineError> {
         let e = g
@@ -56,14 +75,24 @@ pub fn route(g: &Graph, tasks: &[RouteTask]) -> Result<RouteReport, EngineError>
         })
     };
 
-    // Precompute each task's directed edge sequence.
+    // Precompute each task's directed edge sequence, task chunks in parallel.
+    // Chunk results merge in task order, so the first error reported is the
+    // lowest failing task index — exactly the sequential behaviour.
     let mut seqs: Vec<Vec<usize>> = Vec::with_capacity(tasks.len());
-    for (i, t) in tasks.iter().enumerate() {
-        let mut seq = Vec::with_capacity(t.path.len().saturating_sub(1));
-        for w in t.path.windows(2) {
-            seq.push(dir_edge(w[0], w[1], i)?);
-        }
-        seqs.push(seq);
+    for chunk in exec::map_chunks(cfg, tasks, |start, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(off, t)| {
+                let mut seq = Vec::with_capacity(t.path.len().saturating_sub(1));
+                for w in t.path.windows(2) {
+                    seq.push(dir_edge(w[0], w[1], start + off)?);
+                }
+                Ok(seq)
+            })
+            .collect::<Result<Vec<_>, EngineError>>()
+    }) {
+        seqs.extend(chunk?);
     }
 
     let mut metrics = Metrics::new(g.m());

@@ -61,9 +61,9 @@ proptest! {
         let run = run_bcongest(&algo, &g, None, &RunOptions { seed, ..Default::default() })
             .unwrap();
         let want = reference::all_pairs_bfs(&g);
-        for v in 0..g.n() {
-            for s in 0..g.n() {
-                prop_assert_eq!(run.outputs[v].entries[s].dist, want[s][v]);
+        for (v, out) in run.outputs.iter().enumerate() {
+            for (s, entry) in out.entries.iter().enumerate() {
+                prop_assert_eq!(entry.dist, want[s][v]);
             }
         }
     }

@@ -17,12 +17,12 @@ use congest_apsp::decomp::Hierarchy;
 use congest_apsp::engine::{run_bcongest, BcongestAlgorithm, RunOptions};
 use congest_apsp::graph::{generators, Graph, NodeId, WeightedGraph};
 
-fn direct<A: BcongestAlgorithm>(
-    algo: &A,
-    g: &Graph,
-    weights: Option<&[u64]>,
-    seed: u64,
-) -> Vec<A::Output> {
+fn direct<A>(algo: &A, g: &Graph, weights: Option<&[u64]>, seed: u64) -> Vec<A::Output>
+where
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     run_bcongest(
         algo,
         g,
@@ -36,12 +36,12 @@ fn direct<A: BcongestAlgorithm>(
     .outputs
 }
 
-fn via_ldc<A: BcongestAlgorithm>(
-    algo: &A,
-    g: &Graph,
-    weights: Option<&[u64]>,
-    seed: u64,
-) -> Vec<A::Output> {
+fn via_ldc<A>(algo: &A, g: &Graph, weights: Option<&[u64]>, seed: u64) -> Vec<A::Output>
+where
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     simulate_bcongest_via_ldc(
         algo,
         g,

@@ -1,0 +1,459 @@
+//! Offline shim for the subset of the [`rayon`](https://docs.rs/rayon) API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors a
+//! minimal, API-compatible scoped thread pool instead of the real crate (see
+//! `vendor/README.md`). Covered surface:
+//!
+//! * [`ThreadPoolBuilder::new`] / [`ThreadPoolBuilder::num_threads`] /
+//!   [`ThreadPoolBuilder::build`];
+//! * [`ThreadPool::scope`] / [`ThreadPool::install`] /
+//!   [`ThreadPool::current_num_threads`];
+//! * free [`scope`] and [`current_num_threads`] on a lazily-built global pool;
+//! * [`slice::ParallelSlice::par_chunks`] with `map(...).collect::<Vec<_>>()`,
+//!   re-exported through [`prelude`].
+//!
+//! Differences from the real crate: jobs are drained from one shared injector
+//! queue (workers steal from it directly rather than from per-worker deques),
+//! the calling thread blocks instead of helping to steal, and the parallel
+//! iterator surface is exactly the `par_chunks → map → collect` chain. None of
+//! this affects callers: the workspace's executor merges chunk results in fixed
+//! chunk order, so scheduling order is invisible.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub mod slice;
+
+/// Parallel-iterator traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::ParallelSlice;
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Shared pool state: the injector queue workers pull jobs from.
+struct Injector {
+    queue: Mutex<InjectorQueue>,
+    ready: Condvar,
+}
+
+struct InjectorQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Injector {
+    fn push(&self, job: Job) {
+        let mut q = self.queue.lock().expect("injector poisoned");
+        q.jobs.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Worker loop: pull and run jobs until shutdown *and* the queue is drained.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("injector poisoned");
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.ready.wait(q).expect("injector poisoned");
+                }
+            };
+            job();
+        }
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (shim of
+/// `rayon::ThreadPoolBuildError`). The shim's build never actually fails; the
+/// type exists so call sites handle the real crate's signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] (shim of `rayon::ThreadPoolBuilder`).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` (the default) means one per
+    /// available hardware thread, like the real crate.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool, spawning its workers.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real crate's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(InjectorQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let inj = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("threadpool-shim-{i}"))
+                    .spawn(move || inj.work())
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(ThreadPool {
+            injector,
+            workers,
+            threads,
+        })
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A fixed-size pool of worker threads executing scoped jobs (shim of
+/// `rayon::ThreadPool`).
+pub struct ThreadPool {
+    injector: Arc<Injector>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with a [`Scope`] whose spawned jobs may borrow from the
+    /// enclosing stack frame; returns once `op` *and every spawned job* have
+    /// finished. A panic in `op` or in any job is propagated to the caller
+    /// (after all jobs have completed, so borrows stay valid).
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        scope_on(&self.injector, op)
+    }
+
+    /// Runs `op` with this pool registered as the current pool, so the
+    /// [`slice::ParallelSlice`] adaptors inside it run here instead of on the
+    /// global pool. The previous registration is restored even if `op`
+    /// unwinds, like the real crate.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        /// Restores the previous registration on drop (i.e. also during
+        /// unwinding), so a panicking `op` cannot leak this pool into the
+        /// thread-local and dangle after the pool is dropped.
+        struct Restore(Option<(Arc<Injector>, usize)>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_POOL.with(|cur| cur.replace(self.0.take()));
+            }
+        }
+        let _restore = Restore(
+            CURRENT_POOL.with(|cur| cur.replace(Some((Arc::clone(&self.injector), self.threads)))),
+        );
+        op()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.injector
+            .queue
+            .lock()
+            .expect("injector poisoned")
+            .shutdown = true;
+        self.injector.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+thread_local! {
+    /// The pool [`ThreadPool::install`] registered on this thread, if any.
+    static CURRENT_POOL: std::cell::RefCell<Option<(Arc<Injector>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPoolBuilder::new().build().expect("global pool"))
+}
+
+/// The current pool's injector and thread count: the installed pool if inside
+/// [`ThreadPool::install`], the global pool otherwise.
+fn current_injector() -> (Arc<Injector>, usize) {
+    CURRENT_POOL.with(|cur| {
+        cur.borrow().clone().unwrap_or_else(|| {
+            let g = global_pool();
+            (Arc::clone(&g.injector), g.threads)
+        })
+    })
+}
+
+/// Runs `op` in a scope on the global pool (shim of `rayon::scope`).
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    global_pool().scope(op)
+}
+
+/// Runs a scope whose jobs go to `injector`'s workers. Shared by
+/// [`ThreadPool::scope`] and the [`slice`] adaptors (which target the
+/// *current* pool).
+fn scope_on<'scope, OP, R>(injector: &Arc<Injector>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        injector: Arc::clone(injector),
+        pending: Mutex::new(0),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+        _marker: std::marker::PhantomData,
+    };
+    // Run `op` inline; spawned jobs execute on the workers. Even if `op`
+    // panics we must wait for outstanding jobs before unwinding, or their
+    // borrows would dangle.
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    scope.wait_all();
+    if let Some(payload) = scope.panic.lock().expect("scope poisoned").take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// The number of threads in the current pool (global pool unless inside
+/// [`ThreadPool::install`]).
+pub fn current_num_threads() -> usize {
+    CURRENT_POOL
+        .with(|cur| cur.borrow().as_ref().map(|(_, t)| *t))
+        .unwrap_or_else(|| global_pool().threads)
+}
+
+/// A scope in which jobs borrowing the enclosing stack frame may be spawned
+/// (shim of `rayon::Scope`).
+pub struct Scope<'scope> {
+    injector: Arc<Injector>,
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Invariant over `'scope`, like the real crate.
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+/// A `Send` wrapper for the scope pointer smuggled into 'static jobs. Sound
+/// because [`ThreadPool::scope`] does not return (or unwind) until every
+/// spawned job has run to completion, so the pointee outlives every use.
+struct ScopePtr(*const ());
+unsafe impl Send for ScopePtr {}
+
+impl ScopePtr {
+    /// Accessor (rather than direct field use) so closures capture the whole
+    /// `Send` wrapper under edition-2021 precise capture, not the raw pointer.
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a job onto the pool. The job may borrow anything that outlives
+    /// the `scope` call and may itself spawn further jobs.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.pending.lock().expect("scope poisoned") += 1;
+        let ptr = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: `wait_all` keeps the `Scope` (and everything `f` borrows)
+            // alive until this job has finished running.
+            let scope: &Scope<'scope> = unsafe { &*(ptr.get() as *const Scope<'scope>) };
+            let result = catch_unwind(AssertUnwindSafe(|| f(scope)));
+            if let Err(payload) = result {
+                scope
+                    .panic
+                    .lock()
+                    .expect("scope poisoned")
+                    .get_or_insert(payload);
+            }
+            let mut pending = scope.pending.lock().expect("scope poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                scope.done.notify_all();
+            }
+        });
+        // SAFETY: the 'scope lifetime is erased to enqueue the job on 'static
+        // workers; `wait_all` in `ThreadPool::scope` restores the guarantee that
+        // no borrow outlives its referent.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.injector.push(job);
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().expect("scope poisoned");
+        while *pending > 0 {
+            pending = self.done.wait(pending).expect("scope poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_jobs_may_borrow_and_mutate_disjoint_slices() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut data = vec![0u64; 10];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 * 2);
+            }
+        });
+        assert_eq!(data, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn scope_returns_op_value() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let v = pool.scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn panics_propagate_after_jobs_finish() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("job panic"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked scope.
+        assert_eq!(pool.scope(|_| 7), 7);
+    }
+
+    #[test]
+    fn par_chunks_collects_in_order() {
+        let data: Vec<u32> = (0..100).collect();
+        let sums: Vec<u32> = data.par_chunks(7).map(|c| c.iter().sum()).collect();
+        let expected: Vec<u32> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn par_chunks_respects_installed_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let data: Vec<u32> = (0..32).collect();
+        let (inside, n) = pool.install(|| {
+            let v: Vec<u32> = data.par_chunks(4).map(|c| c.iter().sum()).collect();
+            (v, current_num_threads())
+        });
+        assert_eq!(n, 3);
+        assert_eq!(inside.iter().sum::<u32>(), data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn install_restores_current_pool_on_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = current_num_threads();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        // The panicking install must not leak `pool` into the thread-local.
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn free_scope_uses_global_pool() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! The `par_chunks` slice adaptor (shim of `rayon::slice`).
+//!
+//! Exactly the chain the workspace uses is covered:
+//! `data.par_chunks(size).map(f).collect::<Vec<_>>()`. Chunks are processed on
+//! the current pool (see [`ThreadPool::install`](crate::ThreadPool::install))
+//! and results are collected **in chunk order**, matching the real crate's
+//! `IndexedParallelIterator` semantics for this chain.
+
+use crate::{current_injector, Injector, Scope};
+use std::sync::Arc;
+
+/// Slice extension providing parallel chunked iteration (shim of
+/// `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into contiguous chunks of at most `chunk_size` items (the last
+    /// chunk may be shorter), processed in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ParChunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over contiguous chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps each chunk through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            size: self.size,
+            f,
+            _r: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The result of [`ParChunks::map`]: a mapped parallel chunk iterator.
+pub struct ParMap<'a, T, R, F> {
+    slice: &'a [T],
+    size: usize,
+    f: F,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    /// Runs the chunks on the current pool and collects the results in chunk
+    /// order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let chunk_count = self.slice.len().div_ceil(self.size.max(1));
+        let mut results: Vec<Option<R>> = (0..chunk_count).map(|_| None).collect();
+        let (injector, _) = current_injector();
+        run_chunks(&injector, self.slice, self.size, &self.f, &mut results);
+        results
+            .into_iter()
+            .map(|r| r.expect("every chunk completes"))
+            .collect()
+    }
+}
+
+/// Fans the chunk jobs out over `injector`'s workers via a scope on that pool.
+fn run_chunks<'a, T, R, F>(
+    injector: &Arc<Injector>,
+    slice: &'a [T],
+    size: usize,
+    f: &F,
+    results: &mut [Option<R>],
+) where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    crate::scope_on(injector, |s: &Scope<'_>| {
+        let mut rest = results;
+        for chunk in slice.chunks(size) {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per chunk");
+            rest = tail;
+            s.spawn(move |_| *slot = Some(f(chunk)));
+        }
+    });
+}
