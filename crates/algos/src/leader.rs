@@ -162,17 +162,21 @@ pub fn setup_network_with(
     let leader = run.outputs.first().map_or(NodeId::new(0), |o| o.leader);
 
     // Convergecast the subtree counts (one word per tree edge, leaves-to-root), then
-    // flood `n` back down (one word per tree edge). Exact costs of the obvious
-    // schedule: `depth` rounds and `n - 1` messages each way.
-    let mut count_phase = Metrics::new(g.m());
-    count_phase.rounds = u64::from(tree.depth());
-    for &e in tree.tree_edges() {
-        count_phase.add_messages(e, 1);
-    }
-    let mut bcast_phase = count_phase.clone();
-    bcast_phase.rounds = u64::from(tree.depth());
-    metrics.merge_sequential(&count_phase);
-    metrics.merge_sequential(&bcast_phase);
+    // every root floods its tree's count back down (one word per tree edge) — on a
+    // connected graph that is the leader broadcasting `n`. Both go through the
+    // engine's tree primitives, so the costs are the realized `depth` rounds /
+    // `n - 1` messages of the obvious schedule.
+    let count =
+        congest_engine::treeops::convergecast(g, &tree, vec![1u64; g.n()], |a, b| a + b, None)?;
+    metrics.merge_sequential(&count.metrics);
+    let payloads: Vec<(NodeId, u64)> = tree
+        .roots()
+        .iter()
+        .copied()
+        .zip(count.at_root.iter().copied())
+        .collect();
+    let bcast = congest_engine::treeops::broadcast(g, &tree, payloads, None)?;
+    metrics.merge_sequential(&bcast.metrics);
 
     Ok(NetworkSetup {
         leader,

@@ -11,7 +11,9 @@
 //! * [`mis`] — Luby's maximal independent set (a classic broadcast-based algorithm);
 //! * [`matching_maximal`] — Israeli–Itai randomized maximal matching;
 //! * [`matching_bipartite`] — Ahmadi–Kuhn–Oshman exact bipartite maximum matching
-//!   (Appendix A.1, the payload of Corollary 2.8).
+//!   (Appendix A.1, the payload of Corollary 2.8);
+//! * [`mst`] — message-efficient minimum spanning trees (controlled-GHS merging over
+//!   the engine's tree primitives), the "Beyond APSP" workload family.
 
 pub mod apsp_weighted;
 pub mod bfs;
@@ -20,3 +22,4 @@ pub mod leader;
 pub mod matching_bipartite;
 pub mod matching_maximal;
 pub mod mis;
+pub mod mst;

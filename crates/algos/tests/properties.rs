@@ -6,6 +6,7 @@ use congest_algos::bfs::Bfs;
 use congest_algos::bfs_collection::BfsCollection;
 use congest_algos::matching_maximal::{matching_pairs, IsraeliItai};
 use congest_algos::mis::{is_valid_mis, LubyMis};
+use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
 use congest_engine::{run_bcongest, RunOptions};
 use congest_graph::{generators, reference, NodeId, WeightedGraph};
 use proptest::prelude::*;
@@ -71,6 +72,35 @@ proptest! {
         let run = run_bcongest(&IsraeliItai, &g, None, &opts(seed)).unwrap();
         let pairs = matching_pairs(&run.outputs);
         prop_assert!(reference::is_maximal_matching(&g, &pairs));
+    }
+
+    #[test]
+    fn mst_is_a_spanning_tree_matching_the_oracle(seed in 0u64..300, n in 8usize..32, wmax in 1u64..20) {
+        // Arbitrary weights, duplicates included: the output must be a spanning tree
+        // (n−1 edges, acyclic, connecting) and exactly the Kruskal/Prim forest under
+        // the (weight, EdgeId) order.
+        let g = generators::gnp_connected(n, 0.2, seed);
+        let wg = WeightedGraph::random_weights(&g, 1..=wmax, seed);
+        let run = distributed_mst(&wg, &MstConfig::default()).unwrap();
+        prop_assert_eq!(run.edges.len(), n - 1);
+        prop_assert!(reference::is_spanning_forest(&g, &run.edges));
+        let want = reference::mst_kruskal(&wg);
+        prop_assert_eq!(&run.edges, &want.edges);
+        prop_assert_eq!(run.total_weight, want.total_weight);
+        prop_assert_eq!(want, reference::mst_prim(&wg));
+    }
+
+    #[test]
+    fn mst_messages_stay_within_the_configured_budget(seed in 0u64..300, n in 8usize..32) {
+        // The Õ(m) bound, installed as a *hard* budget: the run fails rather than
+        // overspends, so success is the property.
+        let g = generators::gnp_connected(n, 0.25, seed);
+        let wg = WeightedGraph::random_unique_weights(&g, seed);
+        let budget = message_bound(g.n(), g.m());
+        let cfg = MstConfig { message_budget: Some(budget), ..Default::default() };
+        let run = distributed_mst(&wg, &cfg).unwrap();
+        prop_assert!(run.metrics.messages <= budget);
+        prop_assert!(run.complete);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Criterion bench for the MST workload family: the budgeted GHS run and the
+//! trade-off endpoints at the quick `BENCH_mst.json` sizes. Counts are exact and
+//! oracle-checked by the `--bench-mst` harness and the root test suites — this bench
+//! only tracks the simulator's wall-clock shape.
+
+use apsp_core::mst_tradeoff::mst_tradeoff;
+use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
+use congest_graph::{generators, WeightedGraph};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SEED: u64 = 20250608;
+
+fn bench_mst(c: &mut Criterion) {
+    let g = generators::gnp_connected(48, 0.2, SEED);
+    let wg = WeightedGraph::random_unique_weights(&g, SEED);
+    let mut group = c.benchmark_group("mst_ghs");
+    group.sample_size(20);
+    group.bench_function("ghs_budgeted_n48", |b| {
+        b.iter(|| {
+            let cfg = MstConfig {
+                message_budget: Some(message_bound(wg.n(), wg.m())),
+                ..Default::default()
+            };
+            distributed_mst(black_box(&wg), &cfg).expect("mst").edges
+        })
+    });
+    for k in [2usize, 7, 48] {
+        group.bench_function(format!("tradeoff_n48_k{k}"), |b| {
+            b.iter(|| {
+                mst_tradeoff(black_box(&wg), k, SEED)
+                    .expect("tradeoff")
+                    .edges
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

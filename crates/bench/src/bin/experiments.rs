@@ -7,6 +7,8 @@
 //! cargo run --release -p congest-bench --bin experiments [--quick] [--threads N]
 //! cargo run --release -p congest-bench --bin experiments -- --bench-engine \
 //!     [--quick] [--out BENCH_engine.json]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-mst \
+//!     [--quick] [--out BENCH_mst.json]
 //! ```
 //!
 //! `--threads N` sets the process-wide executor default (0 = hardware threads):
@@ -17,10 +19,13 @@
 //! `--bench-engine` skips the tables and instead times the round executor at
 //! 1/2/4/8 threads (see `congest_bench::engine_bench`), writing the JSON
 //! trajectory file (default `BENCH_engine.json`) consumed by the perf-smoke CI
-//! job.
+//! job. `--bench-mst` does the same for the MST workload family (see
+//! `congest_bench::mst_bench`): oracle-checked GHS runs under a hard `Õ(m)`
+//! message budget plus the k-sweep of the trade-off, written to `BENCH_mst.json`.
 
 use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
+use congest_bench::mst_bench::{run_mst_bench, MstBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -54,6 +59,31 @@ fn main() {
                 println!(
                     "  threads {:>2}: {:>9.3} ms | rounds {} | messages {}",
                     s.threads, s.wall_ms, s.rounds, s.messages
+                );
+            }
+        }
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-mst") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_mst.json".into());
+        let cfg = if quick {
+            MstBenchConfig::quick(seed)
+        } else {
+            MstBenchConfig::full(seed)
+        };
+        let report = run_mst_bench(&cfg);
+        for sz in &report.sizes {
+            println!(
+                "mst n = {:>3}, m = {:>5}: {:>8} messages (budget {:>8}), {:>5} rounds, {} phases, {:.3} ms",
+                sz.n, sz.m, sz.messages, sz.budget, sz.rounds, sz.phases, sz.wall_ms
+            );
+            for t in &sz.tradeoff {
+                println!(
+                    "  k {:>3} [{:<18}]: rounds {:>6} | messages {:>8}",
+                    t.k, t.route, t.rounds, t.messages
                 );
             }
         }

@@ -7,7 +7,11 @@
 //! functions at fixed sizes. [`engine_bench`] is the engine-scaling smoke
 //! behind `BENCH_engine.json` (sequential vs parallel round execution), shared
 //! by the binary's `--bench-engine` mode and the `engine` criterion bench.
+//! [`mst_bench`] is the "Beyond APSP" counterpart behind `BENCH_mst.json`
+//! (oracle-checked, budget-enforced MST + trade-off sweep), shared by `--bench-mst`
+//! and the `mst` criterion bench.
 
 pub mod engine_bench;
 pub mod experiments;
+pub mod mst_bench;
 pub mod table;

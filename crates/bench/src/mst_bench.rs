@@ -1,0 +1,232 @@
+//! The MST workload smoke bench behind `BENCH_mst.json`: the "Beyond APSP" family's
+//! message-optimality tripwire plus its time–message trade-off sweep.
+//!
+//! For every configured graph size the harness:
+//!
+//! 1. runs the distributed GHS MST ([`congest_algos::mst::distributed_mst`]) with the
+//!    closed-form `Õ(m)` budget ([`congest_algos::mst::message_bound`]) installed as a
+//!    **hard** [`congest_algos::mst::MstConfig::message_budget`] — an overdraft fails
+//!    the run, so a red perf-smoke CI job doubles as a message-optimality tripwire;
+//! 2. verifies the edge set against the sequential oracles
+//!    ([`apsp_core::verify::check_mst`]) — the run **panics** on any mismatch;
+//! 3. sweeps the trade-off parameter `k` through
+//!    [`apsp_core::mst_tradeoff::mst_tradeoff`] (`k ∈ {2, ⌈√n⌉, n}`) and records the
+//!    realized (rounds, messages) frontier.
+//!
+//! Message/round counts are exact and machine-independent; `wall_ms` is wall-clock
+//! context only (see `docs/BENCHMARKING.md`).
+
+use apsp_core::mst_tradeoff::{mst_tradeoff, MstRoute};
+use apsp_core::verify::check_mst;
+use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
+use congest_graph::{generators, WeightedGraph};
+use std::time::Instant;
+
+/// Sizes and sweep points for one [`run_mst_bench`] invocation.
+#[derive(Clone, Debug)]
+pub struct MstBenchConfig {
+    /// Node counts of the G(n, p) workload graphs (≥ 3 sizes so the committed
+    /// snapshot demonstrates the budget across a sweep, per the acceptance bar).
+    pub sizes: Vec<usize>,
+    /// Edge probability of the workload graphs.
+    pub p: f64,
+    /// Master seed (same role as everywhere else in the workspace).
+    pub seed: u64,
+}
+
+impl MstBenchConfig {
+    /// CI-sized configuration (well under a second end to end).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            sizes: vec![24, 48, 96],
+            p: 0.2,
+            seed,
+        }
+    }
+
+    /// The full configuration used for committed `BENCH_mst.json` refreshes.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            sizes: vec![32, 64, 128, 192],
+            p: 0.15,
+            seed,
+        }
+    }
+}
+
+/// One trade-off sweep point.
+#[derive(Clone, Debug)]
+pub struct TradeoffSample {
+    /// The growth parameter `k`.
+    pub k: usize,
+    /// Rounds the run needed.
+    pub rounds: u64,
+    /// Messages the run needed.
+    pub messages: u64,
+    /// Which route served the point (`"message-optimal"` / `"controlled+central"`).
+    pub route: &'static str,
+}
+
+/// All measurements for one graph size.
+#[derive(Clone, Debug)]
+pub struct MstSizeReport {
+    /// Nodes of the workload graph.
+    pub n: usize,
+    /// Edges of the workload graph.
+    pub m: usize,
+    /// Wall-clock of the budgeted GHS run, milliseconds (machine-dependent).
+    pub wall_ms: f64,
+    /// Rounds of the budgeted GHS run.
+    pub rounds: u64,
+    /// Messages of the budgeted GHS run (exact, machine-independent).
+    pub messages: u64,
+    /// Merge phases of the budgeted GHS run.
+    pub phases: u64,
+    /// The enforced `Õ(m)` budget ([`message_bound`]).
+    pub budget: u64,
+    /// Trade-off sweep points, in `k` order.
+    pub tradeoff: Vec<TradeoffSample>,
+}
+
+/// The full MST bench outcome, serializable to `BENCH_mst.json`.
+#[derive(Clone, Debug)]
+pub struct MstBenchReport {
+    /// Seed the workloads ran with.
+    pub seed: u64,
+    /// Per-size measurements.
+    pub sizes: Vec<MstSizeReport>,
+}
+
+/// Runs the budgeted GHS MST + trade-off sweep at every configured size.
+///
+/// # Panics
+///
+/// Panics if any run's edge set disagrees with the sequential oracles, or if any
+/// GHS run exceeds its `Õ(m)` message budget — that is the point.
+pub fn run_mst_bench(cfg: &MstBenchConfig) -> MstBenchReport {
+    let sizes = cfg
+        .sizes
+        .iter()
+        .map(|&n| {
+            let g = generators::gnp_connected(n, cfg.p, cfg.seed.wrapping_add(n as u64));
+            let wg = WeightedGraph::random_unique_weights(&g, cfg.seed.wrapping_add(n as u64));
+            let budget = message_bound(g.n(), g.m());
+            let start = Instant::now();
+            let run = distributed_mst(
+                &wg,
+                &MstConfig {
+                    message_budget: Some(budget),
+                    ..Default::default()
+                },
+            )
+            .expect("GHS MST within the Õ(m) budget");
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            check_mst(&wg, &run.edges).expect("distributed MST equals the oracle");
+
+            let sqrt_n = (n as f64).sqrt().ceil() as usize;
+            let tradeoff = [2, sqrt_n, n]
+                .into_iter()
+                .map(|k| {
+                    let res = mst_tradeoff(&wg, k, cfg.seed).expect("tradeoff MST");
+                    check_mst(&wg, &res.edges).expect("tradeoff MST equals the oracle");
+                    TradeoffSample {
+                        k,
+                        rounds: res.metrics.rounds,
+                        messages: res.metrics.messages,
+                        route: match res.route {
+                            MstRoute::MessageOptimal => "message-optimal",
+                            MstRoute::ControlledPlusCentral => "controlled+central",
+                        },
+                    }
+                })
+                .collect();
+
+            MstSizeReport {
+                n: g.n(),
+                m: g.m(),
+                wall_ms,
+                rounds: run.metrics.rounds,
+                messages: run.metrics.messages,
+                phases: run.phases,
+                budget,
+                tradeoff,
+            }
+        })
+        .collect();
+    MstBenchReport {
+        seed: cfg.seed,
+        sizes,
+    }
+}
+
+impl MstBenchReport {
+    /// Serializes to the `BENCH_mst.json` schema (documented in
+    /// `docs/BENCHMARKING.md`). Hand-rolled: the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"mst-ghs\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"oracle_checked\": true,\n");
+        s.push_str("  \"sizes\": [\n");
+        for (i, sz) in self.sizes.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"n\": {},\n", sz.n));
+            s.push_str(&format!("      \"m\": {},\n", sz.m));
+            s.push_str(&format!("      \"wall_ms\": {:.3},\n", sz.wall_ms));
+            s.push_str(&format!("      \"rounds\": {},\n", sz.rounds));
+            s.push_str(&format!("      \"messages\": {},\n", sz.messages));
+            s.push_str(&format!("      \"phases\": {},\n", sz.phases));
+            s.push_str(&format!("      \"budget\": {},\n", sz.budget));
+            s.push_str(&format!(
+                "      \"within_budget\": {},\n",
+                sz.messages <= sz.budget
+            ));
+            s.push_str("      \"tradeoff\": [\n");
+            for (ti, t) in sz.tradeoff.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"k\": {}, \"rounds\": {}, \"messages\": {}, \"route\": \"{}\"}}{}\n",
+                    t.k,
+                    t.rounds,
+                    t.messages,
+                    t.route,
+                    if ti + 1 < sz.tradeoff.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.sizes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_verifies_and_serializes() {
+        let cfg = MstBenchConfig {
+            sizes: vec![16, 24, 32],
+            p: 0.25,
+            seed: 7,
+        };
+        // `run_mst_bench` oracle-checks and budget-checks internally.
+        let report = run_mst_bench(&cfg);
+        assert_eq!(report.sizes.len(), 3);
+        for sz in &report.sizes {
+            assert!(sz.messages <= sz.budget);
+            assert_eq!(sz.tradeoff.len(), 3);
+            assert_eq!(sz.tradeoff.last().unwrap().route, "message-optimal");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"mst-ghs\""));
+        assert!(json.contains("\"within_budget\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`landmarks`] — the far-pairs landmark step of §3.3;
 //! * [`tradeoff`] — **Theorem 1.2**: unweighted APSP in `Õ(n^{2-ε})` rounds and
 //!   `Õ(n^{2+ε})` messages for any `ε ∈ [0, 1]`;
+//! * [`mst_tradeoff`] — the "Beyond": a `k`-parameterized time–message trade-off for
+//!   minimum spanning trees over the controlled-GHS subsystem in `congest_algos`;
 //! * [`matching`] — **Corollary 2.8**: maximum bipartite matching in `Õ(n²)` msgs;
 //! * [`cover`] — **Corollary 2.9**: `(k,W)`-sparse neighborhood covers;
 //! * [`verify`] — sequential oracles for all of the above.
@@ -34,6 +36,7 @@ pub mod bfs_trees;
 pub mod cover;
 pub mod landmarks;
 pub mod matching;
+pub mod mst_tradeoff;
 pub mod simulate;
 pub mod tradeoff;
 pub mod verify;

@@ -1,6 +1,6 @@
 //! Verification oracles used by tests, examples and the experiment harness.
 
-use congest_graph::{reference, Graph, WeightedGraph};
+use congest_graph::{reference, EdgeId, Graph, WeightedGraph};
 
 /// Checks an unweighted APSP answer (`dist[v][s]`) against sequential all-pairs BFS.
 ///
@@ -38,6 +38,55 @@ pub fn check_weighted_apsp(wg: &WeightedGraph, dist: &[Vec<Option<u64>>]) -> Res
                 ));
             }
         }
+    }
+    Ok(())
+}
+
+/// Checks that `edges` is exactly the minimum spanning forest of `wg` under the
+/// `(weight, EdgeId)` total order, differentially against **both** sequential oracles
+/// (Kruskal and Prim) plus the structural spanning-forest validator.
+///
+/// # Errors
+///
+/// Describes the first violation (oracle disagreement, wrong edge set, wrong weight,
+/// or not a spanning forest).
+pub fn check_mst(wg: &WeightedGraph, edges: &[EdgeId]) -> Result<(), String> {
+    let kruskal = reference::mst_kruskal(wg);
+    let prim = reference::mst_prim(wg);
+    if kruskal != prim {
+        return Err("oracle disagreement: Kruskal != Prim (tie-break bug)".into());
+    }
+    let mut sorted = edges.to_vec();
+    sorted.sort_unstable();
+    if sorted != kruskal.edges {
+        return Err(format!(
+            "edge set mismatch: got {} edges, oracle has {} (first diff at {:?})",
+            sorted.len(),
+            kruskal.edges.len(),
+            sorted
+                .iter()
+                .zip(&kruskal.edges)
+                .find(|(a, b)| a != b)
+                .map(|(a, _)| *a)
+        ));
+    }
+    if !reference::is_spanning_forest(wg.graph(), &sorted) {
+        return Err("edge set is not a spanning forest".into());
+    }
+    Ok(())
+}
+
+/// Checks a realized message count against a closed-form budget (e.g.
+/// [`congest_algos::mst::message_bound`]).
+///
+/// # Errors
+///
+/// Reports the overdraft.
+pub fn check_message_budget(what: &str, messages: u64, budget: u64) -> Result<(), String> {
+    if messages > budget {
+        return Err(format!(
+            "{what}: {messages} messages exceed budget {budget}"
+        ));
     }
     Ok(())
 }
@@ -90,6 +139,31 @@ mod tests {
         let mut dist: Vec<Vec<Option<u32>>> = vec![vec![Some(0); 4]; 4];
         dist[3][0] = Some(99);
         assert!(check_unweighted_apsp(&g, &dist).is_err());
+    }
+
+    #[test]
+    fn mst_checker_accepts_oracle_and_rejects_wrong_sets() {
+        let g = generators::gnp_connected(18, 0.25, 4);
+        let wg = WeightedGraph::random_weights(&g, 1..=5, 4);
+        let want = reference::mst_kruskal(&wg);
+        check_mst(&wg, &want.edges).unwrap();
+        // Any strict subset fails.
+        assert!(check_mst(&wg, &want.edges[1..]).is_err());
+        // Swapping in a non-MST edge fails.
+        let non_tree = (0..g.m())
+            .map(EdgeId::new)
+            .find(|e| !want.edges.contains(e))
+            .unwrap();
+        let mut wrong = want.edges.clone();
+        wrong[0] = non_tree;
+        assert!(check_mst(&wg, &wrong).is_err());
+    }
+
+    #[test]
+    fn message_budget_checker() {
+        check_message_budget("mst", 10, 10).unwrap();
+        let err = check_message_budget("mst", 11, 10).unwrap_err();
+        assert!(err.contains("exceed"));
     }
 
     #[test]

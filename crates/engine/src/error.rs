@@ -23,6 +23,15 @@ pub enum EngineError {
         /// Explanation.
         reason: String,
     },
+    /// An operation sent more messages than its per-call budget allowed.
+    BudgetExceeded {
+        /// Name of the budgeted operation (e.g. `"convergecast"`).
+        op: &'static str,
+        /// Messages the operation actually needed.
+        used: u64,
+        /// The budget it was given.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -41,6 +50,9 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::InvalidForest { reason } => write!(f, "invalid forest: {reason}"),
+            EngineError::BudgetExceeded { op, used, budget } => {
+                write!(f, "{op} exceeded its message budget: {used} > {budget}")
+            }
         }
     }
 }
@@ -66,5 +78,12 @@ mod tests {
         }
         .to_string()
         .contains("cycle"));
+        assert!(EngineError::BudgetExceeded {
+            op: "upcast",
+            used: 10,
+            budget: 4
+        }
+        .to_string()
+        .contains("10 > 4"));
     }
 }

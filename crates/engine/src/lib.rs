@@ -11,7 +11,8 @@
 //!   complexity `B` and the `Σ deg` message cost);
 //! * [`router`] — store-and-forward packet routing under per-edge capacity (real
 //!   schedules, LMR/Theorem-1.3 style);
-//! * [`treeops`] — the upcast/downcast primitives of Lemmas 1.5/1.6 over [`Forest`]s;
+//! * [`treeops`] — the upcast/downcast primitives of Lemmas 1.5/1.6 over [`Forest`]s,
+//!   plus budget-enforcing convergecast/broadcast passes;
 //! * [`exec`] / [`ExecutorConfig`] — deterministic chunked-parallel execution of the
 //!   per-node phases (outputs and metrics are byte-identical at every thread count);
 //! * [`Metrics`] — composable cost accounting;
@@ -71,6 +72,9 @@ pub use congest::{run_congest, CongestAlgorithm, CongestRun};
 pub use error::EngineError;
 pub use exec::ExecutorConfig;
 pub use metrics::Metrics;
-pub use treeops::{downcast, upcast, Delivered, DowncastOutcome, Forest, UpcastOutcome};
+pub use treeops::{
+    broadcast, convergecast, downcast, downcast_budgeted, upcast, upcast_budgeted,
+    BroadcastOutcome, ConvergecastOutcome, Delivered, DowncastOutcome, Forest, UpcastOutcome,
+};
 pub use view::LocalView;
 pub use wire::Wire;

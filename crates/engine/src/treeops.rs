@@ -1,14 +1,28 @@
-//! Forests and the upcast/downcast primitives (paper §1.4.2, Lemmas 1.5 and 1.6).
+//! Forests and the upcast/downcast/convergecast/broadcast primitives (paper §1.4.2,
+//! Lemmas 1.5 and 1.6, plus the aggregation passes every fragment/tree algorithm uses).
 //!
 //! * **Upcast** (Lemma 1.5): every node holds input items; all items flow to their
 //!   tree's root, each node forwarding one word to its parent per round.
 //! * **Downcast** (Lemma 1.6): roots hold addressed items; each item flows down the
 //!   unique root→destination path, one word per edge per round.
+//! * **Convergecast** ([`convergecast`]): one value per node, folded bottom-up with a
+//!   caller-supplied combiner; each tree edge carries exactly one combined payload
+//!   (the MWOE search of GHS-style MST, subtree counting, …).
+//! * **Broadcast** ([`broadcast`]): one payload per root, flooded down its whole tree;
+//!   each tree edge carries the payload once (fragment-ID dissemination, "everyone
+//!   learn `n`", …).
 //!
-//! Both are executed as real packet schedules (via [`crate::router`]), so the returned
-//! metrics are realized costs, which the tests compare against the lemmas' bounds
-//! (`O(I_n/log n)` rounds / `O(d·I_n/log n)` messages for upcast over depth-`d` forests,
-//! `O(|M|+d)` rounds / `O(d·|M|)` messages for downcast).
+//! Upcast/downcast are executed as real packet schedules (via [`crate::router`]), so
+//! the returned metrics are realized costs, which the tests compare against the
+//! lemmas' bounds (`O(I_n/log n)` rounds / `O(d·I_n/log n)` messages for upcast over
+//! depth-`d` forests, `O(|M|+d)` rounds / `O(d·|M|)` messages for downcast).
+//! Convergecast/broadcast use the obvious level-synchronous schedule (`depth·w`
+//! rounds, one `w`-word payload per tree edge) and charge exactly that.
+//!
+//! Every primitive has a **per-call message budget** form: pass `Some(budget)` (or use
+//! [`upcast_budgeted`] / [`downcast_budgeted`]) and the call fails with
+//! [`EngineError::BudgetExceeded`] instead of silently overspending — the enforcement
+//! hook for "message-optimal" claims.
 
 use crate::error::EngineError;
 use crate::metrics::Metrics;
@@ -273,6 +287,182 @@ pub fn downcast<P: Wire>(
     })
 }
 
+/// Fails with [`EngineError::BudgetExceeded`] if `used` exceeds a given budget
+/// (`None` = unlimited). The single budget-enforcement point: the budgeted
+/// primitives below go through it, and budgeted algorithms (e.g. the GHS MST)
+/// reuse it for the phases they charge directly.
+pub fn ensure_budget(op: &'static str, used: u64, budget: Option<u64>) -> Result<(), EngineError> {
+    match budget {
+        Some(b) if used > b => Err(EngineError::BudgetExceeded {
+            op,
+            used,
+            budget: b,
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// [`upcast`] with a hard per-call message budget.
+///
+/// # Errors
+///
+/// [`EngineError::BudgetExceeded`] if the realized schedule needs more than `budget`
+/// messages; otherwise like [`upcast`].
+pub fn upcast_budgeted<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    items: Vec<(NodeId, P)>,
+    budget: u64,
+) -> Result<UpcastOutcome<P>, EngineError> {
+    let out = upcast(g, forest, items)?;
+    ensure_budget("upcast", out.metrics.messages, Some(budget))?;
+    Ok(out)
+}
+
+/// [`downcast`] with a hard per-call message budget.
+///
+/// # Errors
+///
+/// [`EngineError::BudgetExceeded`] if the realized schedule needs more than `budget`
+/// messages; otherwise like [`downcast`].
+pub fn downcast_budgeted<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    items: Vec<(NodeId, P)>,
+    budget: u64,
+) -> Result<DowncastOutcome<P>, EngineError> {
+    let out = downcast(g, forest, items)?;
+    ensure_budget("downcast", out.metrics.messages, Some(budget))?;
+    Ok(out)
+}
+
+/// Result of a [`convergecast`] run.
+#[derive(Clone, Debug)]
+pub struct ConvergecastOutcome<P> {
+    /// The folded value at each root: parallel to `Forest::roots()`.
+    pub at_root: Vec<P>,
+    /// Realized cost of the operation.
+    pub metrics: Metrics,
+}
+
+/// Folds one value per node up to its tree root (bottom-up aggregation).
+///
+/// Every node combines its children's aggregates into its own value — children in
+/// increasing node-ID order — and sends the result to its parent as one payload, so
+/// each tree edge carries exactly one combined payload. The schedule is
+/// level-synchronous: `depth · w` rounds, where `w` is the largest payload sent.
+/// With an associative, commutative `combine` the result is schedule-independent;
+/// either way the fold order above makes it deterministic.
+///
+/// Pass `budget = Some(limit)` to fail instead of overspending.
+///
+/// # Errors
+///
+/// [`EngineError::BudgetExceeded`] if the realized message count exceeds `budget`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != g.n()` (one value per node).
+pub fn convergecast<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    values: Vec<P>,
+    combine: impl Fn(P, P) -> P,
+    budget: Option<u64>,
+) -> Result<ConvergecastOutcome<P>, EngineError> {
+    assert_eq!(values.len(), g.n(), "one value per node");
+    let mut acc: Vec<Option<P>> = values.into_iter().map(Some).collect();
+    // Deepest nodes first; the sort is stable, so same-depth nodes (in particular all
+    // children of one parent) stay in ascending node order.
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|v| std::cmp::Reverse(forest.depth_of(*v)));
+
+    let mut metrics = Metrics::new(g.m());
+    let mut max_words = 0usize;
+    let mut max_sender_depth = 0u32;
+    for v in order {
+        if let (Some(p), Some(e)) = (forest.parent(v), forest.parent_edge(v)) {
+            let sent = acc[v.index()].take().expect("each node sends once");
+            let words = sent.words();
+            metrics.add_messages(e, words as u64);
+            max_words = max_words.max(words);
+            max_sender_depth = max_sender_depth.max(forest.depth_of(v));
+            let own = acc[p.index()].take().expect("parent not yet sent");
+            acc[p.index()] = Some(combine(own, sent));
+        }
+    }
+    metrics.rounds = u64::from(max_sender_depth) * max_words as u64;
+    ensure_budget("convergecast", metrics.messages, budget)?;
+    let at_root = forest
+        .roots()
+        .iter()
+        .map(|r| acc[r.index()].take().expect("roots never send"))
+        .collect();
+    Ok(ConvergecastOutcome { at_root, metrics })
+}
+
+/// Result of a [`broadcast`] run.
+#[derive(Clone, Debug)]
+pub struct BroadcastOutcome<P> {
+    /// The payload received at each node (`None` outside broadcasting trees).
+    pub at_node: Vec<Option<P>>,
+    /// Realized cost of the operation.
+    pub metrics: Metrics,
+}
+
+/// Floods one payload per root down that root's entire tree.
+///
+/// Each tree edge of a broadcasting tree carries the payload exactly once; the
+/// level-synchronous schedule costs `depth · w` rounds for the deepest broadcasting
+/// tree, `w` being the largest payload. Trees whose root has no payload are silent.
+///
+/// Pass `budget = Some(limit)` to fail instead of overspending.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidForest`] if a payload's source node is not a root;
+/// [`EngineError::BudgetExceeded`] if the realized message count exceeds `budget`.
+pub fn broadcast<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    payloads: Vec<(NodeId, P)>,
+    budget: Option<u64>,
+) -> Result<BroadcastOutcome<P>, EngineError> {
+    let mut at_root: Vec<Option<P>> = vec![None; g.n()];
+    for (r, p) in payloads {
+        if forest.parent(r).is_some() {
+            return Err(EngineError::InvalidForest {
+                reason: format!("broadcast source {r:?} is not a root"),
+            });
+        }
+        at_root[r.index()] = Some(p);
+    }
+    let mut metrics = Metrics::new(g.m());
+    let mut at_node: Vec<Option<P>> = vec![None; g.n()];
+    let mut max_words = 0usize;
+    let mut max_depth = 0u32;
+    // Nodes in ascending depth order: each node's payload (if its root broadcasts) is
+    // its root's, and its parent edge carries it once.
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|v| forest.depth_of(*v));
+    for v in order {
+        let Some(p) = at_root[forest.root_of(v).index()].as_ref() else {
+            continue;
+        };
+        let p = p.clone();
+        if let Some(e) = forest.parent_edge(v) {
+            let words = p.words();
+            metrics.add_messages(e, words as u64);
+            max_words = max_words.max(words);
+            max_depth = max_depth.max(forest.depth_of(v));
+        }
+        at_node[v.index()] = Some(p);
+    }
+    metrics.rounds = u64::from(max_depth) * max_words as u64;
+    ensure_budget("broadcast", metrics.messages, budget)?;
+    Ok(BroadcastOutcome { at_node, metrics })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +593,105 @@ mod tests {
         assert_eq!(out.metrics.messages, 4);
         assert_eq!(out.at_root[0][0].payload, 1);
         assert_eq!(out.at_root[1][0].payload, 2);
+    }
+
+    #[test]
+    fn convergecast_sums_subtree() {
+        let (g, f) = path_forest(5);
+        let out = convergecast(&g, &f, vec![1u64; 5], |a, b| a + b, None).unwrap();
+        assert_eq!(out.at_root, vec![5]);
+        // One word per tree edge, depth rounds.
+        assert_eq!(out.metrics.messages, 4);
+        assert_eq!(out.metrics.rounds, 4);
+    }
+
+    #[test]
+    fn convergecast_fold_order_is_child_id_ascending() {
+        // Star rooted at 0: fold must visit children 1, 2, 3, 4, 5 in order.
+        let g = generators::star(6);
+        let parent: Vec<Option<NodeId>> =
+            (0..6).map(|i| (i != 0).then_some(NodeId::new(0))).collect();
+        let f = Forest::from_parents(&g, parent).unwrap();
+        let values: Vec<Vec<u64>> = (0..6).map(|i| vec![i as u64]).collect();
+        let out = convergecast(
+            &g,
+            &f,
+            values,
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.at_root[0], vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(out.metrics.rounds, 1); // depth 1, 1-word payloads
+        assert_eq!(out.metrics.messages, 5);
+    }
+
+    #[test]
+    fn convergecast_budget_enforced() {
+        let (g, f) = path_forest(5);
+        let err = convergecast(&g, &f, vec![1u64; 5], |a, b| a + b, Some(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded {
+                op: "convergecast",
+                used: 4,
+                budget: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn broadcast_floods_whole_tree() {
+        let (g, f) = path_forest(4);
+        let out = broadcast(&g, &f, vec![(NodeId::new(0), 7u64)], None).unwrap();
+        assert!(out.at_node.iter().all(|p| *p == Some(7)));
+        assert_eq!(out.metrics.messages, 3);
+        assert_eq!(out.metrics.rounds, 3);
+    }
+
+    #[test]
+    fn broadcast_silent_trees_cost_nothing() {
+        // Two trees; only the second broadcasts.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let parent = vec![None, Some(NodeId::new(0)), None, Some(NodeId::new(2))];
+        let f = Forest::from_parents(&g, parent).unwrap();
+        let out = broadcast(&g, &f, vec![(NodeId::new(2), 9u64)], None).unwrap();
+        assert_eq!(out.at_node, vec![None, None, Some(9), Some(9)]);
+        assert_eq!(out.metrics.messages, 1);
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn broadcast_rejects_non_root_source() {
+        let (g, f) = path_forest(3);
+        let err = broadcast(&g, &f, vec![(NodeId::new(1), 1u64)], None).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidForest { .. }));
+    }
+
+    #[test]
+    fn broadcast_budget_enforced() {
+        let (g, f) = path_forest(4);
+        let err = broadcast(&g, &f, vec![(NodeId::new(0), 7u64)], Some(2)).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn budgeted_upcast_and_downcast() {
+        let (g, f) = path_forest(5);
+        let items: Vec<(NodeId, u64)> = (0..5).map(|i| (NodeId::new(i), i as u64)).collect();
+        // Realized upcast cost is 10 (sum of depths) — a budget of 10 passes, 9 fails.
+        assert!(upcast_budgeted(&g, &f, items.clone(), 10).is_ok());
+        let err = upcast_budgeted(&g, &f, items, 9).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded { op: "upcast", .. }
+        ));
+        let down: Vec<(NodeId, u64)> = (1..5).map(|i| (NodeId::new(i), i as u64)).collect();
+        assert!(downcast_budgeted(&g, &f, down.clone(), 10).is_ok());
+        assert!(downcast_budgeted(&g, &f, down, 9).is_err());
     }
 
     use congest_graph::Graph;

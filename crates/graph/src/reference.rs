@@ -1,10 +1,11 @@
 //! Sequential reference algorithms used as correctness oracles for the distributed
-//! implementations: BFS, Dijkstra, connectivity, diameter, and Hopcroft–Karp matching.
+//! implementations: BFS, Dijkstra, connectivity, diameter, Hopcroft–Karp matching,
+//! and minimum spanning forests (Kruskal and Prim).
 //!
 //! Everything here is centralized and straightforward — the point is trustworthiness,
 //! not speed (though all are the standard near-linear implementations).
 
-use crate::ids::NodeId;
+use crate::ids::{EdgeId, NodeId};
 use crate::{Graph, WeightedGraph};
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -248,6 +249,139 @@ pub fn hopcroft_karp(g: &Graph) -> Option<usize> {
     Some(total)
 }
 
+/// A minimum spanning forest computed by a sequential oracle.
+///
+/// Edge weights need not be distinct: ties are broken by [`EdgeId`], i.e. all MSF
+/// algorithms in this workspace minimize under the **total order `(weight, EdgeId)`**,
+/// which makes the minimum spanning forest *unique* — [`mst_kruskal`], [`mst_prim`]
+/// and the distributed GHS implementation all return the same edge set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MstOracle {
+    /// The forest's edges, sorted ascending by [`EdgeId`].
+    pub edges: Vec<EdgeId>,
+    /// Sum of the edge weights.
+    pub total_weight: u64,
+}
+
+/// A tiny union-find (path halving + union by representative minimum), shared by the
+/// MSF oracles and the trade-off's central finisher. Keeping the minimum index as the
+/// representative makes component labels deterministic — load-bearing for the
+/// `(weight, EdgeId)` tie-break contract.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton classes `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// The representative (minimum member) of `x`'s class.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions the two classes; returns `false` if they were already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+        true
+    }
+}
+
+/// Kruskal's minimum spanning forest under the `(weight, EdgeId)` total order.
+pub fn mst_kruskal(wg: &WeightedGraph) -> MstOracle {
+    let g = wg.graph();
+    let mut order: Vec<EdgeId> = (0..g.m()).map(EdgeId::new).collect();
+    order.sort_unstable_by_key(|&e| (wg.weight(e), e.index()));
+    let mut uf = UnionFind::new(g.n());
+    let mut edges = Vec::new();
+    let mut total_weight = 0u64;
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if uf.union(u.index(), v.index()) {
+            edges.push(e);
+            total_weight += wg.weight(e);
+        }
+    }
+    edges.sort_unstable();
+    MstOracle {
+        edges,
+        total_weight,
+    }
+}
+
+/// Prim's minimum spanning forest under the `(weight, EdgeId)` total order — one run
+/// per connected component, started at each component's minimum-ID node.
+///
+/// An independent implementation of the same object as [`mst_kruskal`]; the
+/// differential tests assert both agree edge-for-edge.
+pub fn mst_prim(wg: &WeightedGraph) -> MstOracle {
+    let g = wg.graph();
+    let mut in_tree = vec![false; g.n()];
+    let mut edges = Vec::new();
+    let mut total_weight = 0u64;
+    for s in g.nodes() {
+        if in_tree[s.index()] {
+            continue;
+        }
+        in_tree[s.index()] = true;
+        // Lazy-deletion heap keyed by the tie-breaking total order.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (e, _, w) in wg.incident(s) {
+            heap.push(std::cmp::Reverse((w, e.index())));
+        }
+        while let Some(std::cmp::Reverse((w, ei))) = heap.pop() {
+            let e = EdgeId::new(ei);
+            let (u, v) = g.endpoints(e);
+            let grown = match (in_tree[u.index()], in_tree[v.index()]) {
+                (true, false) => v,
+                (false, true) => u,
+                _ => continue, // stale entry: both endpoints already in the tree
+            };
+            in_tree[grown.index()] = true;
+            edges.push(e);
+            total_weight += w;
+            for (ne, nb, nw) in wg.incident(grown) {
+                if !in_tree[nb.index()] {
+                    heap.push(std::cmp::Reverse((nw, ne.index())));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    MstOracle {
+        edges,
+        total_weight,
+    }
+}
+
+/// Whether `edges` is a spanning forest of `g`: acyclic, and connecting exactly the
+/// connected components of `g` (i.e. a spanning tree per component).
+pub fn is_spanning_forest(g: &Graph, edges: &[EdgeId]) -> bool {
+    let mut uf = UnionFind::new(g.n());
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        if !uf.union(u.index(), v.index()) {
+            return false; // cycle
+        }
+    }
+    // Acyclic with `n - components(g)` edges ⇔ spanning forest.
+    g.n().saturating_sub(connected_components(g).1) == edges.len()
+}
+
 /// Validates that `pairs` is a matching of `g` (edges exist, endpoints distinct across pairs).
 pub fn is_matching(g: &Graph, pairs: &[(NodeId, NodeId)]) -> bool {
     let mut used = vec![false; g.n()];
@@ -362,6 +496,59 @@ mod tests {
         // Any maximal matching is at least half the maximum.
         assert!(hk <= 12);
         assert!(hk >= 1);
+    }
+
+    #[test]
+    fn kruskal_and_prim_agree_with_unique_weights() {
+        for seed in 0..5u64 {
+            let g = generators::gnp_connected(24, 0.2, seed);
+            let wg = WeightedGraph::random_unique_weights(&g, seed);
+            let k = mst_kruskal(&wg);
+            let p = mst_prim(&wg);
+            assert_eq!(k, p, "seed {seed}");
+            assert_eq!(k.edges.len(), g.n() - 1);
+            assert!(is_spanning_forest(&g, &k.edges));
+        }
+    }
+
+    #[test]
+    fn kruskal_and_prim_agree_under_heavy_ties() {
+        // All-equal weights: the (weight, EdgeId) order must fully disambiguate.
+        for g in [
+            generators::gnp_connected(20, 0.3, 3),
+            generators::grid(5, 4),
+            generators::complete(8),
+        ] {
+            let wg = WeightedGraph::unit(&g);
+            let k = mst_kruskal(&wg);
+            assert_eq!(k, mst_prim(&wg));
+            assert_eq!(k.total_weight, (g.n() - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn mst_on_weighted_path_is_the_path() {
+        let g = generators::path(4);
+        let wg = WeightedGraph::from_weights(g.clone(), vec![5, 1, 9]).unwrap();
+        let k = mst_kruskal(&wg);
+        assert_eq!(k.edges.len(), 3);
+        assert_eq!(k.total_weight, 15);
+        assert!(is_spanning_forest(&g, &k.edges));
+    }
+
+    #[test]
+    fn spanning_forest_of_disconnected_graph() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 2)]);
+        let wg = WeightedGraph::from_weights(g.clone(), vec![2, 3, 1, 10]).unwrap();
+        let k = mst_kruskal(&wg);
+        // Components {0,1,2} and {3,4}: a spanning forest has 2 + 1 edges.
+        assert_eq!(k.edges.len(), 3);
+        assert_eq!(k, mst_prim(&wg));
+        assert!(is_spanning_forest(&g, &k.edges));
+        // Dropping an edge or adding a cycle both fail validation.
+        assert!(!is_spanning_forest(&g, &k.edges[..2]));
+        let all: Vec<EdgeId> = (0..g.m()).map(EdgeId::new).collect();
+        assert!(!is_spanning_forest(&g, &all));
     }
 
     #[test]

@@ -75,11 +75,35 @@ impl WeightedGraph {
     }
 
     /// Independent uniform random weights from `range`, seeded.
+    ///
+    /// Duplicate weights are possible (and common for narrow ranges), so quantities
+    /// like "the minimum spanning tree" are only well-defined for consumers that break
+    /// ties — everything in this workspace minimizes under the total order
+    /// `(weight, EdgeId)` (see [`crate::reference::MstOracle`]). For instances where
+    /// distinctness itself is wanted, use [`WeightedGraph::random_unique_weights`].
     pub fn random_weights(graph: &Graph, range: RangeInclusive<u64>, seed: u64) -> Self {
         let mut r = rng::seeded(rng::derive(seed, 0x5eed_0e19));
         let weights = (0..graph.m())
             .map(|_| r.random_range(range.clone()))
             .collect();
+        Self {
+            graph: graph.clone(),
+            weights,
+        }
+    }
+
+    /// Pairwise-distinct random weights: a seeded uniform permutation of `1..=m`
+    /// assigned across the edges.
+    ///
+    /// With all weights distinct the minimum spanning tree is unique outright — no
+    /// tie-breaking needed — which makes these instances the cleanest differential
+    /// oracle inputs. The weights are exactly the set `{1, …, m}` (weight sums are
+    /// predictable), shuffled deterministically in the seed.
+    pub fn random_unique_weights(graph: &Graph, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        let mut r = rng::seeded(rng::derive(seed, 0x5eed_0e20));
+        let mut weights: Vec<u64> = (1..=graph.m() as u64).collect();
+        weights.shuffle(&mut r);
         Self {
             graph: graph.clone(),
             weights,
@@ -170,6 +194,19 @@ mod tests {
         assert_eq!(a.weights(), b.weights());
         assert!(a.weights().iter().all(|&w| (3..=9).contains(&w)));
         let c = WeightedGraph::random_weights(&g, 3..=9, 43);
+        assert_ne!(a.weights(), c.weights());
+    }
+
+    #[test]
+    fn unique_weights_are_a_permutation_and_deterministic() {
+        let g = crate::generators::gnp_connected(20, 0.2, 4);
+        let a = WeightedGraph::random_unique_weights(&g, 9);
+        let b = WeightedGraph::random_unique_weights(&g, 9);
+        assert_eq!(a.weights(), b.weights());
+        let mut sorted = a.weights().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=g.m() as u64).collect::<Vec<_>>());
+        let c = WeightedGraph::random_unique_weights(&g, 10);
         assert_ne!(a.weights(), c.weights());
     }
 

@@ -8,6 +8,8 @@
 use congest_apsp::algos::bfs::Bfs;
 use congest_apsp::algos::bfs_collection::BfsCollection;
 use congest_apsp::algos::leader::LeaderElect;
+use congest_apsp::algos::mst::{distributed_mst, MstConfig};
+use congest_apsp::apsp_core::mst_tradeoff::mst_tradeoff_with;
 use congest_apsp::apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
 use congest_apsp::engine::{
     run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, ExecutorConfig, LocalView,
@@ -115,6 +117,56 @@ fn weighted_apsp_identical_across_thread_counts() {
             base.simulated_rounds, par.simulated_rounds,
             "T_A @ {t} threads"
         );
+    }
+}
+
+#[test]
+fn mst_identical_across_thread_counts() {
+    // The GHS workload: per-phase chunk-parallel MWOE scans and announcement
+    // charging plus the tree primitives. Outputs (edge set, fragments), rounds,
+    // messages, and the full per-edge congestion vector are pinned byte-identical.
+    for (family, g) in graph_families() {
+        let wg = WeightedGraph::random_weights(&g, 1..=9, 17);
+        let cfg = |t: usize| MstConfig {
+            exec: ExecutorConfig::with_threads(t),
+            ..Default::default()
+        };
+        let base = distributed_mst(&wg, &cfg(1)).expect("sequential mst");
+        for t in THREAD_COUNTS {
+            let par = distributed_mst(&wg, &cfg(t)).expect("parallel mst");
+            assert_eq!(base.edges, par.edges, "mst/{family}: edges @ {t} threads");
+            assert_eq!(
+                base.total_weight, par.total_weight,
+                "mst/{family}: weight @ {t} threads"
+            );
+            assert_eq!(
+                base.fragment, par.fragment,
+                "mst/{family}: fragments @ {t} threads"
+            );
+            assert_eq!(
+                base.phases, par.phases,
+                "mst/{family}: phases @ {t} threads"
+            );
+            assert_eq!(
+                base.metrics, par.metrics,
+                "mst/{family}: metrics @ {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn mst_tradeoff_identical_across_thread_counts() {
+    // End-to-end through the central-finish route: controlled merging, leader
+    // election, upcast collection and downcast notification all honor the executor.
+    let g = generators::gnp_connected(40, 0.15, 23);
+    let wg = WeightedGraph::random_unique_weights(&g, 23);
+    let base = mst_tradeoff_with(&wg, 4, 3, &ExecutorConfig::sequential()).expect("sequential");
+    for t in THREAD_COUNTS {
+        let par = mst_tradeoff_with(&wg, 4, 3, &ExecutorConfig::with_threads(t)).expect("parallel");
+        assert_eq!(base.edges, par.edges, "tradeoff edges @ {t} threads");
+        assert_eq!(base.metrics, par.metrics, "tradeoff metrics @ {t} threads");
+        assert_eq!(base.route, par.route, "tradeoff route @ {t} threads");
     }
 }
 
