@@ -203,13 +203,15 @@ pub fn distributed_mst(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstRun, En
         }
         phases += 1;
 
-        // Fold per-node candidates to each fragment leader.
-        let cc = treeops::convergecast(
+        // Fold per-node candidates to each fragment leader (through the
+        // configured delivery backend — per-fragment shard locality).
+        let cc = treeops::convergecast_with(
             g,
             &forest,
             cands,
             MwoeMsg::min,
             remaining(cfg.message_budget, &metrics),
+            &cfg.exec,
         )?;
         metrics.merge_sequential(&cc.metrics);
 
@@ -225,7 +227,7 @@ pub fn distributed_mst(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstRun, En
             .iter()
             .map(|&(_, e)| EdgeId::new(e as usize))
             .collect();
-        let dc = treeops::downcast(g, &forest, decisions)?;
+        let dc = treeops::downcast_with(g, &forest, decisions, &cfg.exec)?;
         metrics.merge_sequential(&dc.metrics);
         treeops::ensure_budget("ghs-mst", metrics.messages, cfg.message_budget)?;
 
@@ -262,11 +264,12 @@ pub fn distributed_mst(wg: &WeightedGraph, cfg: &MstConfig) -> Result<MstRun, En
             .filter(|r| grew[r.index()])
             .map(|&r| (r, u64::from(r.raw())))
             .collect();
-        let bc = treeops::broadcast(
+        let bc = treeops::broadcast_with(
             g,
             &forest,
             payloads,
             remaining(cfg.message_budget, &metrics),
+            &cfg.exec,
         )?;
         metrics.merge_sequential(&bc.metrics);
         fragment = new_fragment;

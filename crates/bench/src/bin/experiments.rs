@@ -9,6 +9,8 @@
 //!     [--quick] [--out BENCH_engine.json]
 //! cargo run --release -p congest-bench --bin experiments -- --bench-mst \
 //!     [--quick] [--out BENCH_mst.json]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-shard \
+//!     [--quick] [--out BENCH_shard.json]
 //! ```
 //!
 //! `--threads N` sets the process-wide executor default (0 = hardware threads):
@@ -22,10 +24,14 @@
 //! job. `--bench-mst` does the same for the MST workload family (see
 //! `congest_bench::mst_bench`): oracle-checked GHS runs under a hard `Õ(m)`
 //! message budget plus the k-sweep of the trade-off, written to `BENCH_mst.json`.
+//! `--bench-shard` sweeps the delivery backends (sequential vs chunked vs
+//! 2/4/8-shard; see `congest_bench::shard_bench`) over APSP and MST workloads,
+//! asserting exact count equality, written to `BENCH_shard.json`.
 
 use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
 use congest_bench::mst_bench::{run_mst_bench, MstBenchConfig};
+use congest_bench::shard_bench::{run_shard_bench, ShardBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -59,6 +65,35 @@ fn main() {
                 println!(
                     "  threads {:>2}: {:>9.3} ms | rounds {} | messages {}",
                     s.threads, s.wall_ms, s.rounds, s.messages
+                );
+            }
+        }
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-shard") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_shard.json".into());
+        let cfg = if quick {
+            ShardBenchConfig::quick(seed)
+        } else {
+            ShardBenchConfig::full(seed)
+        };
+        let report = run_shard_bench(&cfg);
+        for w in &report.workloads {
+            println!(
+                "{}: n = {}, m = {}, messages {}, best sharded speedup {:.2}x",
+                w.name,
+                w.n,
+                w.m,
+                w.messages,
+                w.best_sharded_speedup()
+            );
+            for s in &w.samples {
+                println!(
+                    "  {:>10}/{:<2} (threads {}): {:>9.3} ms",
+                    s.backend, s.shards, s.threads, s.wall_ms
                 );
             }
         }

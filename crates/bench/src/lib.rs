@@ -9,9 +9,12 @@
 //! by the binary's `--bench-engine` mode and the `engine` criterion bench.
 //! [`mst_bench`] is the "Beyond APSP" counterpart behind `BENCH_mst.json`
 //! (oracle-checked, budget-enforced MST + trade-off sweep), shared by `--bench-mst`
-//! and the `mst` criterion bench.
+//! and the `mst` criterion bench. [`shard_bench`] is the delivery-backend
+//! matrix behind `BENCH_shard.json` (sequential vs chunked vs sharded, exact
+//! counts asserted equal), behind `--bench-shard`.
 
 pub mod engine_bench;
 pub mod experiments;
 pub mod mst_bench;
+pub mod shard_bench;
 pub mod table;

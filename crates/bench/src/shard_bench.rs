@@ -1,0 +1,385 @@
+//! The delivery-backend smoke bench behind `BENCH_shard.json`: sequential vs
+//! chunked vs 2/4/8-shard wall-clock on APSP and MST workloads, with the
+//! backend-conformance contract checked on every sample.
+//!
+//! Four workloads cover the backend surface:
+//!
+//! * **apsp-ldc-sim** — weighted APSP through the Theorem 2.1 simulation:
+//!   upcast/downcast transport plus the stepper's phases;
+//! * **mst-gnp** — the GHS phase loop (announce → convergecast → merge) on a
+//!   random graph: shallow fragment forests, announcement-dominated;
+//! * **mst-deep-path** — the same loop on a long path: fragment forests up to
+//!   thousands of levels deep, where the sharded backend's level-bucketed
+//!   convergecast/broadcast schedule (`O(n + depth)` per phase) replaces the
+//!   sequential depth sort (`O(n log n)` per phase);
+//! * **mst-tradeoff** — the `k = ⌈√n⌉` trade-off point: controlled merging
+//!   plus the leader-collected central finish.
+//!
+//! Every sample's outputs and [`Metrics`] must equal the sequential baseline —
+//! the run **panics** otherwise, so a red perf-smoke CI job doubles as a
+//! backend-conformance tripwire. Message/round counts are exact and
+//! machine-independent; `wall_ms` is the minimum of [`ShardBenchConfig::reps`]
+//! runs and is machine-dependent (`host_threads` is recorded: on a single-core
+//! host the chunked/threaded samples measure dispatch overhead, while the
+//! sharded samples still measure the backend's layout and schedule).
+
+use apsp_core::mst_tradeoff::mst_tradeoff_with;
+use apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
+use congest_algos::mst::{distributed_mst, MstConfig};
+use congest_engine::{DeliveryBackend, ExecutorConfig, Metrics};
+use congest_graph::{generators, WeightedGraph};
+use std::time::Instant;
+
+/// Sizes, shard counts, and repetitions for one [`run_shard_bench`] invocation.
+#[derive(Clone, Debug)]
+pub struct ShardBenchConfig {
+    /// Master seed (same role as everywhere else in the workspace).
+    pub seed: u64,
+    /// Nodes of the APSP workload graph.
+    pub apsp_n: usize,
+    /// Nodes of the G(n, p) MST workload graph.
+    pub mst_n: usize,
+    /// Nodes of the deep-path MST workload graph.
+    pub path_n: usize,
+    /// Nodes of the trade-off workload graph.
+    pub tradeoff_n: usize,
+    /// Shard counts to sample (the chunked/sequential configs are implicit).
+    pub shard_counts: Vec<usize>,
+    /// Timed repetitions per (workload, backend) cell; `wall_ms` records the
+    /// minimum, damping scheduler noise.
+    pub reps: usize,
+}
+
+impl ShardBenchConfig {
+    /// CI-sized configuration (a few seconds end to end).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            apsp_n: 20,
+            mst_n: 96,
+            path_n: 1024,
+            tradeoff_n: 64,
+            shard_counts: vec![2, 4, 8],
+            reps: 3,
+        }
+    }
+
+    /// The full configuration used for committed `BENCH_shard.json` refreshes.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            apsp_n: 26,
+            mst_n: 192,
+            path_n: 4096,
+            tradeoff_n: 128,
+            shard_counts: vec![2, 4, 8],
+            reps: 5,
+        }
+    }
+}
+
+/// One timed execution of one workload under one backend configuration.
+#[derive(Clone, Debug)]
+pub struct BackendSample {
+    /// Stable backend label (`"sequential"`, `"chunked"`, `"sharded"`).
+    pub backend: &'static str,
+    /// Shard count (0 for non-sharded backends).
+    pub shards: usize,
+    /// Configured worker threads (`0` = hardware).
+    pub threads: usize,
+    /// Minimum wall-clock over the repetitions, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// All samples of one workload.
+#[derive(Clone, Debug)]
+pub struct ShardWorkloadReport {
+    /// Workload name (stable key for trajectory tooling).
+    pub name: &'static str,
+    /// Nodes of the workload graph.
+    pub n: usize,
+    /// Edges of the workload graph.
+    pub m: usize,
+    /// Exact message count — asserted identical across all backends.
+    pub messages: u64,
+    /// Exact round count — asserted identical across all backends.
+    pub rounds: u64,
+    /// One sample per backend configuration, sequential first.
+    pub samples: Vec<BackendSample>,
+}
+
+impl ShardWorkloadReport {
+    /// Best sequential-vs-sharded wall-clock ratio over the sharded samples
+    /// (> 1 means a sharded configuration beat the sequential backend).
+    pub fn best_sharded_speedup(&self) -> f64 {
+        let base = self.samples.first().map_or(0.0, |s| s.wall_ms);
+        self.samples
+            .iter()
+            .filter(|s| s.backend == "sharded")
+            .map(|s| base / s.wall_ms.max(1e-9))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The full delivery-backend bench outcome, serializable to `BENCH_shard.json`.
+#[derive(Clone, Debug)]
+pub struct ShardBenchReport {
+    /// Seed the workloads ran with.
+    pub seed: u64,
+    /// Hardware threads of the measuring host (wall-clock context: with 1 the
+    /// thread-fanning samples measure dispatch overhead, not speedup).
+    pub host_threads: usize,
+    /// Per-workload samples.
+    pub workloads: Vec<ShardWorkloadReport>,
+}
+
+/// The backend configurations of one sweep: sequential baseline, chunked at
+/// hardware threads, and each sharded count single-threaded (pure layout) —
+/// the honest comparison on any core count, since the sharded schedule does
+/// not depend on thread fan-out.
+fn backend_configs(shard_counts: &[usize]) -> Vec<(&'static str, usize, ExecutorConfig)> {
+    let mut cfgs = vec![
+        ("sequential", 0usize, ExecutorConfig::sequential()),
+        ("chunked", 0usize, ExecutorConfig::with_threads(0)),
+    ];
+    for &s in shard_counts {
+        cfgs.push((
+            "sharded",
+            s,
+            ExecutorConfig {
+                threads: 1,
+                backend: DeliveryBackend::Sharded { shards: s },
+            },
+        ));
+    }
+    cfgs
+}
+
+/// Times `run` under every backend, asserting output/metrics equality against
+/// the sequential baseline on every repetition.
+fn sweep<O, F>(
+    name: &'static str,
+    n: usize,
+    m: usize,
+    reps: usize,
+    shard_counts: &[usize],
+    run: F,
+) -> ShardWorkloadReport
+where
+    O: PartialEq + std::fmt::Debug,
+    F: Fn(&ExecutorConfig) -> (O, Metrics),
+{
+    let mut baseline: Option<(O, Metrics)> = None;
+    let mut samples = Vec::new();
+    for (backend, shards, cfg) in backend_configs(shard_counts) {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let (out, metrics) = run(&cfg);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            match &baseline {
+                None => baseline = Some((out, metrics)),
+                Some((base_out, base_metrics)) => {
+                    assert_eq!(
+                        *base_out, out,
+                        "{name}: outputs diverged under {backend}/{shards} — conformance broken"
+                    );
+                    assert_eq!(
+                        *base_metrics, metrics,
+                        "{name}: metrics diverged under {backend}/{shards} — conformance broken"
+                    );
+                }
+            }
+        }
+        samples.push(BackendSample {
+            backend,
+            shards,
+            threads: cfg.threads,
+            wall_ms: best,
+        });
+    }
+    let (_, metrics) = baseline.expect("at least one backend ran");
+    ShardWorkloadReport {
+        name,
+        n,
+        m,
+        messages: metrics.messages,
+        rounds: metrics.rounds,
+        samples,
+    }
+}
+
+/// Runs the four workloads under every backend configuration.
+///
+/// # Panics
+///
+/// Panics if any sample's outputs or metrics differ from the sequential
+/// baseline — that is the point.
+pub fn run_shard_bench(cfg: &ShardBenchConfig) -> ShardBenchReport {
+    let seed = cfg.seed;
+
+    let apsp_g = generators::gnp_connected(cfg.apsp_n, 0.18, seed);
+    let apsp_wg = WeightedGraph::random_weights(&apsp_g, 1..=9, seed);
+    let apsp = sweep(
+        "apsp-ldc-sim",
+        apsp_g.n(),
+        apsp_g.m(),
+        cfg.reps,
+        &cfg.shard_counts,
+        |exec| {
+            let run = weighted_apsp(
+                &apsp_wg,
+                &WeightedApspConfig {
+                    seed,
+                    exec: exec.clone(),
+                    ..Default::default()
+                },
+            )
+            .expect("weighted apsp");
+            (run.distances, run.metrics)
+        },
+    );
+
+    let mst_g = generators::gnp_connected(cfg.mst_n, 0.12, seed);
+    let mst_wg = WeightedGraph::random_unique_weights(&mst_g, seed);
+    let mst = sweep(
+        "mst-gnp",
+        mst_g.n(),
+        mst_g.m(),
+        cfg.reps,
+        &cfg.shard_counts,
+        |exec| {
+            let run = distributed_mst(
+                &mst_wg,
+                &MstConfig {
+                    exec: exec.clone(),
+                    ..Default::default()
+                },
+            )
+            .expect("gnp mst");
+            ((run.edges, run.fragment), run.metrics)
+        },
+    );
+
+    let path_g = generators::path(cfg.path_n);
+    let path_wg = WeightedGraph::random_unique_weights(&path_g, seed);
+    let deep = sweep(
+        "mst-deep-path",
+        path_g.n(),
+        path_g.m(),
+        cfg.reps,
+        &cfg.shard_counts,
+        |exec| {
+            let run = distributed_mst(
+                &path_wg,
+                &MstConfig {
+                    exec: exec.clone(),
+                    ..Default::default()
+                },
+            )
+            .expect("deep-path mst");
+            ((run.edges, run.fragment), run.metrics)
+        },
+    );
+
+    let to_g = generators::gnp_connected(cfg.tradeoff_n, 0.15, seed);
+    let to_wg = WeightedGraph::random_unique_weights(&to_g, seed);
+    let k = (cfg.tradeoff_n as f64).sqrt().ceil() as usize;
+    let tradeoff = sweep(
+        "mst-tradeoff-sqrt-n",
+        to_g.n(),
+        to_g.m(),
+        cfg.reps,
+        &cfg.shard_counts,
+        |exec| {
+            let run = mst_tradeoff_with(&to_wg, k, seed, exec).expect("tradeoff mst");
+            (run.edges, run.metrics)
+        },
+    );
+
+    ShardBenchReport {
+        seed,
+        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        workloads: vec![apsp, mst, deep, tradeoff],
+    }
+}
+
+impl ShardBenchReport {
+    /// Serializes to the `BENCH_shard.json` schema (documented in
+    /// `docs/BENCHMARKING.md`). Hand-rolled: the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"delivery-backends\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+            s.push_str(&format!("      \"n\": {},\n", w.n));
+            s.push_str(&format!("      \"m\": {},\n", w.m));
+            s.push_str(&format!("      \"messages\": {},\n", w.messages));
+            s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
+            s.push_str("      \"counts_identical_across_backends\": true,\n");
+            s.push_str(&format!(
+                "      \"best_sharded_speedup\": {:.3},\n",
+                w.best_sharded_speedup()
+            ));
+            s.push_str("      \"samples\": [\n");
+            for (si, smp) in w.samples.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"backend\": \"{}\", \"shards\": {}, \"threads\": {}, \"wall_ms\": {:.3}}}{}\n",
+                    smp.backend,
+                    smp.shards,
+                    smp.threads,
+                    smp.wall_ms,
+                    if si + 1 < w.samples.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_is_conformant_and_serializes() {
+        let cfg = ShardBenchConfig {
+            seed: 7,
+            apsp_n: 14,
+            mst_n: 24,
+            path_n: 64,
+            tradeoff_n: 25,
+            shard_counts: vec![2, 3],
+            reps: 1,
+        };
+        // `run_shard_bench` asserts output/metrics equality internally.
+        let report = run_shard_bench(&cfg);
+        assert_eq!(report.workloads.len(), 4);
+        for w in &report.workloads {
+            // sequential + chunked + one sample per shard count.
+            assert_eq!(w.samples.len(), 2 + 2);
+            assert_eq!(w.samples[0].backend, "sequential");
+            assert!(w.messages > 0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"delivery-backends\""));
+        assert!(json.contains("mst-deep-path"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -23,7 +23,9 @@
 use crate::simulate::common::{dedupe_msgs, input_words, Pad, SimulationRun, Stepper};
 use congest_algos::leader::setup_network_with;
 use congest_decomp::{Hierarchy, Level};
-use congest_engine::{downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire};
+use congest_engine::{
+    downcast_with, upcast_with, AggregationAlgorithm, EngineError, Forest, Metrics, Wire,
+};
 use congest_graph::{ClusterId, EdgeId, Graph, NodeId};
 
 /// Options for the Theorem 3.9 / 3.10 simulations.
@@ -139,7 +141,7 @@ where
             .map(|v| (v, Pad(g.degree(v) + 1)))
             .collect();
         if !items.is_empty() {
-            let up = upcast(g, forest, items)?;
+            let up = upcast_with(g, forest, items, &opts.exec)?;
             metrics.merge_sequential(&up.metrics);
         }
     }
@@ -194,7 +196,7 @@ where
                     .collect();
                 if !items.is_empty() {
                     let forest = rt.forests[li].as_ref().expect("level forest");
-                    let up = upcast(g, forest, items)?;
+                    let up = upcast_with(g, forest, items, &opts.exec)?;
                     phase_cost.merge_sequential(&up.metrics);
                 }
             }
@@ -238,7 +240,7 @@ where
                 }
                 if !down_items.is_empty() {
                     let forest = rt.forests[lj].as_ref().expect("level forest");
-                    let down = downcast(g, forest, down_items)?;
+                    let down = downcast_with(g, forest, down_items, &opts.exec)?;
                     phase_cost.merge_sequential(&down.metrics);
                 }
                 if !forwards.is_empty() {
@@ -280,7 +282,7 @@ where
                 }
                 if li >= 1 && !up_items.is_empty() {
                     let forest = rt.forests[li].as_ref().expect("level forest");
-                    let up = upcast(g, forest, up_items)?;
+                    let up = upcast_with(g, forest, up_items, &opts.exec)?;
                     phase_cost.merge_sequential(&up.metrics);
                 }
                 let mut down_items: Vec<(NodeId, Pad)> = Vec::new();
@@ -312,7 +314,7 @@ where
                 }
                 if li >= 1 && !down_items.is_empty() {
                     let forest = rt.forests[li].as_ref().expect("level forest");
-                    let down = downcast(g, forest, down_items)?;
+                    let down = downcast_with(g, forest, down_items, &opts.exec)?;
                     phase_cost.merge_sequential(&down.metrics);
                 }
             }

@@ -21,7 +21,9 @@
 use crate::simulate::common::{dedupe_msgs, input_words, Pad, SimulationRun, Stepper};
 use congest_algos::leader::setup_network_with;
 use congest_decomp::Hierarchy;
-use congest_engine::{downcast, upcast, AggregationAlgorithm, EngineError, Forest, Metrics, Wire};
+use congest_engine::{
+    downcast_with, upcast_with, AggregationAlgorithm, EngineError, Forest, Metrics, Wire,
+};
 use congest_graph::{ClusterId, EdgeId, Graph, NodeId};
 
 pub use super::agg_general::AggSimOptions;
@@ -72,7 +74,7 @@ where
             .map(|v| (v, Pad(g.degree(v) + 1)))
             .collect();
         if !items.is_empty() {
-            let up = upcast(g, forest, items)?;
+            let up = upcast_with(g, forest, items, &opts.exec)?;
             metrics.merge_sequential(&up.metrics);
         }
     }
@@ -149,7 +151,7 @@ where
                     .map(|(v, _)| (*v, Pad(1)))
                     .collect();
                 if !to_center.is_empty() {
-                    let up = upcast(g, forest, to_center)?;
+                    let up = upcast_with(g, forest, to_center, &opts.exec)?;
                     phase_cost.merge_sequential(&up.metrics);
                 }
 
@@ -212,7 +214,7 @@ where
                     }
                 }
                 if !down_items.is_empty() {
-                    let down = downcast(g, forest, down_items)?;
+                    let down = downcast_with(g, forest, down_items, &opts.exec)?;
                     phase_cost.merge_sequential(&down.metrics);
                 }
                 if !forwards.is_empty() {
@@ -246,7 +248,7 @@ where
                     }
                 }
                 if !up_items.is_empty() {
-                    let up = upcast(g, forest, up_items)?;
+                    let up = upcast_with(g, forest, up_items, &opts.exec)?;
                     phase_cost.merge_sequential(&up.metrics);
                 }
                 let mut down2: Vec<(NodeId, Pad)> = Vec::new();
@@ -273,7 +275,7 @@ where
                     }
                 }
                 if !down2.is_empty() {
-                    let down = downcast(g, forest, down2)?;
+                    let down = downcast_with(g, forest, down2, &opts.exec)?;
                     phase_cost.merge_sequential(&down.metrics);
                 }
             }

@@ -17,13 +17,10 @@
 use crate::error::EngineError;
 use crate::exec::{self, ExecutorConfig};
 use crate::metrics::Metrics;
+use crate::shard;
 use crate::view::LocalView;
 use crate::wire::Wire;
 use congest_graph::{rng, EdgeId, Graph, NodeId};
-
-/// One chunk's expanded deliveries: `(receiver, sender, edge, message)`,
-/// receiver-push order preserved from the sequential loop.
-pub(crate) type Outbox<M> = Vec<(NodeId, NodeId, EdgeId, M)>;
 
 /// A BCONGEST algorithm as a pure per-node state machine.
 ///
@@ -198,8 +195,6 @@ where
 {
     let n = g.n();
     let cfg = &opts.exec;
-    // Resolved once: with `threads = 0` each query costs a syscall.
-    let parallel = cfg.is_parallel();
     let mut metrics = Metrics::new(g.m());
     let mut states: Vec<A::State> = exec::map_ranges(cfg, n, |range| {
         range
@@ -232,61 +227,33 @@ where
         // 1. Collect broadcasts (pure reads, chunked over nodes; concatenating
         //    per-chunk batches in chunk order reproduces the sequential node
         //    order exactly), then apply send transitions.
-        let broadcasters: Vec<(NodeId, A::Msg)> = exec::map_chunks(cfg, &states, |start, chunk| {
-            let mut out = Vec::new();
-            for (off, st) in chunk.iter().enumerate() {
-                if let Some(msg) = algo.broadcast(st, round) {
-                    debug_assert_eq!(
-                        msg.words(),
-                        1,
-                        "BCONGEST broadcasts must be single O(log n)-bit messages"
-                    );
-                    out.push((NodeId::new(start + off), msg));
-                }
+        let broadcasters: Vec<(NodeId, A::Msg)> = shard::collect_sends(cfg, &states, |_i, st| {
+            let msg = algo.broadcast(st, round);
+            if let Some(m) = &msg {
+                debug_assert_eq!(
+                    m.words(),
+                    1,
+                    "BCONGEST broadcasts must be single O(log n)-bit messages"
+                );
             }
-            out
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+            msg
+        });
         for (v, _) in &broadcasters {
             algo.on_broadcast_sent(&mut states[v.index()], round);
         }
 
-        // 2. Deliver: each broadcast crosses every incident edge. Sequentially
-        //    the deliveries push straight into the inboxes; in parallel,
-        //    per-chunk outboxes are expanded concurrently and merged in chunk
-        //    order — each inbox receives messages in broadcaster order either
-        //    way, so the two paths are indistinguishable.
+        // 2. Deliver: each broadcast crosses every incident edge, through the
+        //    configured backend — inline pushes, chunk-order-merged outboxes,
+        //    or sharded mailboxes with batched cross-shard queues. Each inbox
+        //    receives messages in broadcaster order under every backend, so
+        //    the paths are indistinguishable.
         metrics.broadcasts += broadcasters.len() as u64;
-        if !parallel {
-            for (v, msg) in &broadcasters {
-                for (e, u) in g.incident(*v) {
-                    metrics.add_messages(e, msg.words() as u64);
-                    inboxes[u.index()].push((*v, msg.clone()));
-                }
+        let expand = |v: NodeId, msg: &A::Msg, sink: &mut dyn FnMut(NodeId, EdgeId, A::Msg)| {
+            for (e, u) in g.incident(v) {
+                sink(u, e, msg.clone());
             }
-        } else {
-            let outboxes: Vec<Outbox<A::Msg>> =
-                exec::map_chunks(cfg, &broadcasters, |_start, chunk| {
-                    let mut out = Vec::new();
-                    for (v, msg) in chunk {
-                        for (e, u) in g.incident(*v) {
-                            out.push((u, *v, e, msg.clone()));
-                        }
-                    }
-                    out
-                });
-            for outbox in &outboxes {
-                metrics
-                    .add_messages_batch(outbox.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
-            }
-            for outbox in outboxes {
-                for (u, v, _e, msg) in outbox {
-                    inboxes[u.index()].push((v, msg));
-                }
-            }
-        }
+        };
+        shard::deliver_phase(cfg, &broadcasters, &expand, &mut metrics, &mut inboxes);
 
         // 3. Receive: per-node state transitions, sharded with their inboxes.
         //    With an observer attached the phase stays sequential so the
@@ -303,19 +270,9 @@ where
             }
             any
         } else {
-            exec::map_chunks_mut2(cfg, &mut states, &mut inboxes, |_start, sts, inbs| {
-                let mut any = false;
-                for (st, inbox) in sts.iter_mut().zip(inbs.iter_mut()) {
-                    if !inbox.is_empty() {
-                        any = true;
-                        let inbox = std::mem::take(inbox);
-                        algo.receive(st, round, &inbox);
-                    }
-                }
-                any
+            shard::receive_phase(cfg, &mut states, &mut inboxes, |st, inbox| {
+                algo.receive(st, round, &inbox);
             })
-            .into_iter()
-            .any(|b| b)
         };
 
         // 4. Termination / idle-round skipping. Only rounds up to the last activity
@@ -410,10 +367,11 @@ mod tests {
     #[test]
     fn min_flood_converges_to_zero() {
         let g = generators::gnp_connected(30, 0.1, 3);
-        let run = run_bcongest(&MinFlood, &g, None, &RunOptions::default()).unwrap();
+        let run = run_bcongest(&MinFlood, &g, None, &RunOptions::default()).expect("min-flood run");
         assert!(run.outputs.iter().all(|&o| o == 0));
         // Rounds at least the eccentricity of node 0.
-        let ecc = congest_graph::reference::eccentricity(&g, NodeId::new(0)).unwrap() as u64;
+        let ecc = congest_graph::reference::eccentricity(&g, NodeId::new(0))
+            .expect("connected graph") as u64;
         assert!(run.metrics.rounds >= ecc);
         assert!(run.metrics.broadcasts >= g.n() as u64);
         // Messages = Σ over broadcasts of deg.
@@ -426,7 +384,7 @@ mod tests {
         // → 8 messages). Leaves learn 0 and re-broadcast it in round 1 (4 more
         // broadcasts, 4 messages); the hub learns nothing new. Quiescent after that.
         let g = generators::star(5);
-        let run = run_bcongest(&MinFlood, &g, None, &RunOptions::default()).unwrap();
+        let run = run_bcongest(&MinFlood, &g, None, &RunOptions::default()).expect("min-flood run");
         assert_eq!(run.metrics.broadcasts, 9);
         assert_eq!(run.metrics.messages, 12);
         assert_eq!(run.metrics.rounds, 2);
@@ -477,7 +435,7 @@ mod tests {
                 seen += inbox.len();
             },
         )
-        .unwrap();
+        .expect("observed min-flood run");
         assert!(seen > 0);
     }
 }

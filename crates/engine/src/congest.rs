@@ -10,6 +10,7 @@
 use crate::error::EngineError;
 use crate::exec;
 use crate::metrics::Metrics;
+use crate::shard;
 use crate::view::LocalView;
 use crate::wire::Wire;
 use congest_graph::{rng, EdgeId, Graph, NodeId};
@@ -84,8 +85,6 @@ where
 {
     let n = g.n();
     let cfg = &opts.exec;
-    // Resolved once: with `threads = 0` each query costs a syscall.
-    let parallel = cfg.is_parallel();
     let mut metrics = Metrics::new(g.m());
     let mut states: Vec<A::State> = exec::map_ranges(cfg, n, |range| {
         range
@@ -116,88 +115,37 @@ where
         // Pure per-node send scans, chunked over nodes; concatenating the
         // per-chunk batches in chunk order reproduces the sequential order.
         let all_sends: Vec<(NodeId, SendBatch<A::Msg>)> =
-            exec::map_chunks(cfg, &states, |start, chunk| {
-                chunk
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(off, st)| {
-                        let sends = algo.sends(st, round);
-                        (!sends.is_empty()).then(|| (NodeId::new(start + off), sends))
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            shard::collect_sends(cfg, &states, |_i, st| {
+                let sends = algo.sends(st, round);
+                (!sends.is_empty()).then_some(sends)
+            });
         let any_sent = !all_sends.is_empty();
         for (v, _) in &all_sends {
             algo.on_sent(&mut states[v.index()], round);
         }
-        // Edge resolution and delivery. Sequentially, resolve and push inline;
-        // in parallel, expand per-chunk outboxes concurrently (the
-        // `edge_between` lookups are the hot part) and merge them in fixed
-        // sender order — inbox order is sender order either way.
-        if !parallel {
-            for (v, sends) in &all_sends {
-                let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
-                for (u, m) in sends {
-                    let e = g
-                        .edge_between(*v, *u)
-                        .unwrap_or_else(|| panic!("{v:?} sent to non-neighbor {u:?}"));
-                    debug_assert!(!used.contains(&e), "two messages on one edge in one round");
-                    used.push(e);
-                    debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
-                    metrics.add_messages(e, m.words() as u64);
-                    inboxes[u.index()].push((*v, m.clone()));
-                }
+        // Edge resolution and delivery through the configured backend (the
+        // `edge_between` lookups are the hot part of the expansion): inline
+        // pushes, chunk-order-merged outboxes, or sharded mailboxes with
+        // batched cross-shard queues — inbox order is sender order either way.
+        let expand = |v: NodeId,
+                      sends: &Vec<(NodeId, A::Msg)>,
+                      sink: &mut dyn FnMut(NodeId, EdgeId, A::Msg)| {
+            let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
+            for (u, m) in sends {
+                let e = g
+                    .edge_between(v, *u)
+                    .unwrap_or_else(|| panic!("{v:?} sent to non-neighbor {u:?}"));
+                debug_assert!(!used.contains(&e), "two messages on one edge in one round");
+                used.push(e);
+                debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
+                sink(*u, e, m.clone());
             }
-        } else {
-            let outboxes: Vec<crate::bcongest::Outbox<A::Msg>> =
-                exec::map_chunks(cfg, &all_sends, |_start, chunk| {
-                    let mut out = Vec::new();
-                    for (v, sends) in chunk {
-                        let mut used: Vec<EdgeId> = Vec::with_capacity(sends.len());
-                        for (u, m) in sends {
-                            let e = g
-                                .edge_between(*v, *u)
-                                .unwrap_or_else(|| panic!("{v:?} sent to non-neighbor {u:?}"));
-                            debug_assert!(
-                                !used.contains(&e),
-                                "two messages on one edge in one round"
-                            );
-                            used.push(e);
-                            debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
-                            out.push((*u, *v, e, m.clone()));
-                        }
-                    }
-                    out
-                });
-            for outbox in &outboxes {
-                metrics
-                    .add_messages_batch(outbox.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
-            }
-            for outbox in outboxes {
-                for (u, v, _e, msg) in outbox {
-                    inboxes[u.index()].push((v, msg));
-                }
-            }
-        }
+        };
+        shard::deliver_phase(cfg, &all_sends, &expand, &mut metrics, &mut inboxes);
         // Per-node receive transitions, sharded with their inboxes.
-        let any_received = exec::map_chunks_mut2(cfg, &mut states, &mut inboxes, {
-            |_start, sts, inbs| {
-                let mut any = false;
-                for (st, inbox) in sts.iter_mut().zip(inbs.iter_mut()) {
-                    if !inbox.is_empty() {
-                        any = true;
-                        let inbox = std::mem::take(inbox);
-                        algo.receive(st, round, &inbox);
-                    }
-                }
-                any
-            }
-        })
-        .into_iter()
-        .any(|b| b);
+        let any_received = shard::receive_phase(cfg, &mut states, &mut inboxes, |st, inbox| {
+            algo.receive(st, round, &inbox);
+        });
         if any_sent || any_received {
             rounds_used = round as u64 + 1;
             round += 1;
@@ -291,7 +239,7 @@ mod tests {
             None,
             &crate::RunOptions::default(),
         )
-        .unwrap();
+        .expect("ring-token run");
         // 3 laps of 8 hops each.
         assert_eq!(run.metrics.messages, 24);
         assert_eq!(run.metrics.rounds, 24);

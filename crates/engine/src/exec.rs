@@ -42,39 +42,109 @@ pub fn default_threads() -> usize {
     DEFAULT_THREADS.load(Ordering::Relaxed)
 }
 
+/// How a runner's **delivery phase** moves messages from senders to inboxes.
+///
+/// All three backends produce byte-identical outputs and [`crate::Metrics`] —
+/// rounds, messages, broadcasts, and the full per-edge congestion vector — for
+/// every workload; the root `tests/backend_conformance.rs` suite pins this
+/// differentially. The backend is therefore a wall-clock/layout knob only,
+/// exactly like [`ExecutorConfig::threads`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryBackend {
+    /// Inline resolve-and-push: each sender's messages are charged and pushed
+    /// straight into the receivers' inboxes, in sender order. The reference
+    /// path every other backend is pinned against.
+    Sequential,
+    /// Chunk-parallel: senders are sharded into contiguous chunks, per-chunk
+    /// outboxes expand concurrently, and outboxes merge in chunk order. With
+    /// one effective thread this degenerates to [`DeliveryBackend::Sequential`].
+    Chunked,
+    /// Sharded mailboxes: nodes are partitioned into `shards` contiguous
+    /// shards, each shard owns its nodes' inboxes and drains intra-shard
+    /// messages locally, and cross-shard traffic accumulates into
+    /// per-(src-shard, dst-shard) batch queues exchanged at the round barrier
+    /// and merged in fixed (shard, node, edge) order. `shards = 0` or `1`
+    /// degenerates to a single shard (still exercising the batch plumbing).
+    Sharded {
+        /// Number of node shards (clamped to `[1, n]`).
+        shards: usize,
+    },
+}
+
+impl Default for DeliveryBackend {
+    /// [`DeliveryBackend::Chunked`]: sequential inline delivery at one thread,
+    /// chunk-parallel delivery otherwise — the pre-backend-enum behaviour.
+    fn default() -> Self {
+        DeliveryBackend::Chunked
+    }
+}
+
 /// How a runner executes its per-node phases.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecutorConfig {
     /// Worker threads for the per-node phases. `1` = sequential (no pool);
     /// `0` = one per available hardware thread; `k > 1` = exactly `k`.
     pub threads: usize,
+    /// How the delivery phase moves messages (outputs/metrics identical for
+    /// every backend; see [`DeliveryBackend`]).
+    pub backend: DeliveryBackend,
 }
 
 impl Default for ExecutorConfig {
     /// The process-wide default (sequential unless [`set_default_threads`]
-    /// was called).
+    /// was called), with the [`DeliveryBackend::Chunked`] delivery backend.
     fn default() -> Self {
         Self {
             threads: default_threads(),
+            backend: DeliveryBackend::Chunked,
         }
     }
 }
 
 impl ExecutorConfig {
-    /// The sequential executor (`threads = 1`).
+    /// The sequential executor (`threads = 1`, inline delivery).
     pub const fn sequential() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            backend: DeliveryBackend::Sequential,
+        }
     }
 
-    /// An executor with exactly `threads` workers (`0` = hardware threads).
+    /// An executor with exactly `threads` workers (`0` = hardware threads) and
+    /// the default chunk-parallel delivery backend.
     pub const fn with_threads(threads: usize) -> Self {
-        Self { threads }
+        Self {
+            threads,
+            backend: DeliveryBackend::Chunked,
+        }
     }
 
-    /// The resolved worker count (`0` resolved to the hardware thread count).
+    /// An executor with the sharded delivery backend: `shards` node shards and
+    /// exactly as many worker threads (`sharded(0)` means hardware-many
+    /// workers over a single shard). Build the config by hand to pick a
+    /// different worker count — e.g. `threads: 1` drives the shard layout
+    /// inline on the caller thread.
+    pub const fn sharded(shards: usize) -> Self {
+        Self {
+            threads: shards,
+            backend: DeliveryBackend::Sharded { shards },
+        }
+    }
+
+    /// Replaces the delivery backend, keeping the thread count.
+    #[must_use]
+    pub const fn with_backend(mut self, backend: DeliveryBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The resolved worker count (`0` resolved to the hardware thread count,
+    /// queried once per process — the runners resolve the backend every
+    /// round, and `available_parallelism` is a syscall).
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, usize::from)
+            static HARDWARE: OnceLock<usize> = OnceLock::new();
+            *HARDWARE.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
         } else {
             self.threads
         }
@@ -83,6 +153,26 @@ impl ExecutorConfig {
     /// Whether the chunk helpers will fan out to a pool.
     pub fn is_parallel(&self) -> bool {
         self.effective_threads() > 1
+    }
+
+    /// The delivery backend that will actually run: [`DeliveryBackend::Chunked`]
+    /// collapses to [`DeliveryBackend::Sequential`] at one effective thread
+    /// (chunking with one chunk is the sequential path), and sharded shard
+    /// counts are clamped to at least 1.
+    pub fn resolved_backend(&self) -> DeliveryBackend {
+        match self.backend {
+            DeliveryBackend::Sequential => DeliveryBackend::Sequential,
+            DeliveryBackend::Chunked => {
+                if self.is_parallel() {
+                    DeliveryBackend::Chunked
+                } else {
+                    DeliveryBackend::Sequential
+                }
+            }
+            DeliveryBackend::Sharded { shards } => DeliveryBackend::Sharded {
+                shards: shards.max(1),
+            },
+        }
     }
 }
 
@@ -94,7 +184,9 @@ fn chunk_size_for(len: usize, threads: usize) -> usize {
 
 /// Cached pools, one per distinct thread count. Runs share pools across rounds
 /// and calls, so the per-round cost is job dispatch, not thread spawning.
-fn pool_for(threads: usize) -> Arc<ThreadPool> {
+/// `pub(crate)`: the sharded delivery backend ([`crate::shard`]) runs its
+/// per-shard tasks on the same pools.
+pub(crate) fn pool_for(threads: usize) -> Arc<ThreadPool> {
     static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
     let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut pools = pools.lock().expect("pool cache poisoned");
@@ -304,6 +396,37 @@ mod tests {
     fn zero_threads_means_hardware() {
         let cfg = ExecutorConfig::with_threads(0);
         assert!(cfg.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn backend_resolution() {
+        // Chunked at one thread collapses to the sequential path.
+        assert_eq!(
+            ExecutorConfig::with_threads(1).resolved_backend(),
+            DeliveryBackend::Sequential
+        );
+        assert_eq!(
+            ExecutorConfig::with_threads(4).resolved_backend(),
+            DeliveryBackend::Chunked
+        );
+        // Sequential stays sequential even with spare workers.
+        assert_eq!(
+            ExecutorConfig::with_threads(4)
+                .with_backend(DeliveryBackend::Sequential)
+                .resolved_backend(),
+            DeliveryBackend::Sequential
+        );
+        // Sharded shard counts clamp to at least one shard.
+        assert_eq!(
+            ExecutorConfig::sharded(0).resolved_backend(),
+            DeliveryBackend::Sharded { shards: 1 }
+        );
+        assert_eq!(
+            ExecutorConfig::sharded(4).resolved_backend(),
+            DeliveryBackend::Sharded { shards: 4 }
+        );
+        // `sharded(s)` provisions one worker per shard.
+        assert_eq!(ExecutorConfig::sharded(4).threads, 4);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   plus budget-enforcing convergecast/broadcast passes;
 //! * [`exec`] / [`ExecutorConfig`] — deterministic chunked-parallel execution of the
 //!   per-node phases (outputs and metrics are byte-identical at every thread count);
+//! * [`shard`] / [`DeliveryBackend`] — pluggable message-delivery backends
+//!   (sequential, chunk-parallel, sharded mailboxes with batched cross-shard
+//!   queues), all byte-identical to the sequential path;
 //! * [`Metrics`] — composable cost accounting;
 //! * [`Wire`] — message sizes in `O(log n)`-bit words.
 //!
@@ -60,6 +63,7 @@ mod error;
 pub mod exec;
 mod metrics;
 pub mod router;
+pub mod shard;
 pub mod treeops;
 mod view;
 mod wire;
@@ -70,11 +74,13 @@ pub use bcongest::{
 };
 pub use congest::{run_congest, CongestAlgorithm, CongestRun};
 pub use error::EngineError;
-pub use exec::ExecutorConfig;
+pub use exec::{DeliveryBackend, ExecutorConfig};
 pub use metrics::Metrics;
+pub use shard::ShardPlan;
 pub use treeops::{
-    broadcast, convergecast, downcast, downcast_budgeted, upcast, upcast_budgeted,
-    BroadcastOutcome, ConvergecastOutcome, Delivered, DowncastOutcome, Forest, UpcastOutcome,
+    broadcast, broadcast_with, convergecast, convergecast_with, downcast, downcast_budgeted,
+    downcast_with, upcast, upcast_budgeted, upcast_with, BroadcastOutcome, ConvergecastOutcome,
+    Delivered, DowncastOutcome, Forest, UpcastOutcome,
 };
 pub use view::LocalView;
 pub use wire::Wire;

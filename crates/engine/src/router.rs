@@ -203,7 +203,7 @@ mod tests {
             path: (0..5).map(NodeId::new).collect(),
             words: 1,
         };
-        let r = route(&g, &[task]).unwrap();
+        let r = route(&g, &[task]).expect("route the single task");
         assert_eq!(r.metrics.rounds, 4);
         assert_eq!(r.metrics.messages, 4);
         assert_eq!(r.dilation, 4);
@@ -218,7 +218,7 @@ mod tests {
             path: (0..4).map(NodeId::new).collect(),
             words: 5,
         };
-        let r = route(&g, &[task]).unwrap();
+        let r = route(&g, &[task]).expect("route the single task");
         assert_eq!(r.metrics.rounds, 3 + 5 - 1);
         assert_eq!(r.metrics.messages, 15);
     }
@@ -231,7 +231,7 @@ mod tests {
             path: vec![NodeId::new(0), NodeId::new(1)],
             words: 1,
         };
-        let r = route(&g, &[t.clone(), t]).unwrap();
+        let r = route(&g, &[t.clone(), t]).expect("route two contending tasks");
         assert_eq!(r.metrics.rounds, 2);
         assert_eq!(r.congestion, 2);
     }
@@ -247,7 +247,7 @@ mod tests {
             path: vec![NodeId::new(1), NodeId::new(0)],
             words: 1,
         };
-        let r = route(&g, &[a, b]).unwrap();
+        let r = route(&g, &[a, b]).expect("route opposite-direction tasks");
         assert_eq!(r.metrics.rounds, 1);
     }
 
@@ -258,7 +258,7 @@ mod tests {
             path: vec![NodeId::new(0)],
             words: 3,
         };
-        let r = route(&g, &[t]).unwrap();
+        let r = route(&g, &[t]).expect("route the local-delivery task");
         assert_eq!(r.metrics.rounds, 0);
         assert_eq!(r.metrics.messages, 0);
     }
@@ -286,7 +286,7 @@ mod tests {
                 words: 2,
             })
             .collect();
-        let r = route(&g, &tasks).unwrap();
+        let r = route(&g, &tasks).expect("route the shared-path batch");
         assert!(r.metrics.rounds <= r.congestion + r.dilation as u64);
     }
 

@@ -1,0 +1,408 @@
+//! Sharded batched message delivery, and the backend-driven round phases shared
+//! by the CONGEST/BCONGEST runners.
+//!
+//! The sequential delivery loop pushes each message straight into its
+//! receiver's inbox — a random-access scatter over all `n` mailboxes. The
+//! sharded backend ([`crate::DeliveryBackend::Sharded`]) instead partitions the
+//! nodes into `S` contiguous shards ([`ShardPlan`]); each shard owns its nodes'
+//! mailboxes. During the send half of a round, every **source shard** expands
+//! its senders' messages into `S` batch queues — one per **destination shard**,
+//! intra-shard traffic simply landing in the queue addressed to itself. At the
+//! round barrier the queues are exchanged: each destination shard drains, in
+//! fixed source-shard order, the batches addressed to it into its own
+//! mailboxes.
+//!
+//! Because shards are contiguous node ranges, "source-shard order, then sender
+//! order within the shard, then the sender's own emission order" *is* the
+//! global `(shard, node, edge)` order — exactly the order the sequential loop
+//! produces. Every inbox therefore receives its messages in the identical
+//! sequence, and message/congestion accounting commutes, so outputs and
+//! [`Metrics`] are byte-identical to the sequential and chunk-parallel paths at
+//! any shard count and any thread count. The root
+//! `tests/backend_conformance.rs` suite enforces this differentially.
+//!
+//! With more than one worker thread the per-shard tasks of both halves run on
+//! the executor's cached pool (source shards touch disjoint sender ranges,
+//! destination shards touch disjoint mailbox ranges — no locks anywhere); with
+//! one thread they run inline, so the backend is also a cache-locality layout
+//! even single-threaded.
+
+use crate::exec::{self, DeliveryBackend, ExecutorConfig};
+use crate::metrics::Metrics;
+use crate::wire::Wire;
+use congest_graph::{EdgeId, NodeId};
+use std::ops::Range;
+
+/// One expanded delivery batch: `(receiver, sender, edge, message)` in emission
+/// order. The chunk-parallel path produces one per sender chunk; the sharded
+/// path one per (src-shard, dst-shard) pair.
+pub(crate) type Deliveries<M> = Vec<(NodeId, NodeId, EdgeId, M)>;
+
+/// A partition of `0..n` into `S` contiguous, equally-sized (up to rounding)
+/// node shards. Shard `s` owns the node range [`ShardPlan::range`]`(s)`; every
+/// node belongs to exactly one shard, and shard ranges are ordered by node ID,
+/// so concatenating per-shard results in shard order reproduces node order —
+/// the invariant the delivery merge relies on (pinned by the engine's property
+/// tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    n: usize,
+    shards: usize,
+    size: usize,
+}
+
+impl ShardPlan {
+    /// Plans `shards` shards over `n` nodes. The count is clamped to `[1, n]`
+    /// (an empty graph gets one empty shard), then reduced to the number of
+    /// non-empty ranges the rounded shard size actually yields.
+    pub fn new(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n.max(1));
+        let size = n.div_ceil(shards).max(1);
+        let shards = if n == 0 { 1 } else { n.div_ceil(size) };
+        Self { n, shards, size }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Nodes covered by the plan.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The shard owning node `v`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        v.index() / self.size
+    }
+
+    /// The node range shard `s` owns.
+    #[inline]
+    pub fn range(&self, s: usize) -> Range<usize> {
+        let start = s * self.size;
+        start..((start + self.size).min(self.n))
+    }
+
+    /// All shard ranges, in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.shards).map(|s| self.range(s))
+    }
+}
+
+/// Collects per-node send decisions in node order: `f(node_index, state)`
+/// returning `Some(payload)` marks the node a sender this round. Chunked over
+/// nodes via [`exec::map_chunks`]; concatenating per-chunk batches in chunk
+/// order reproduces the sequential node order exactly, so the result is
+/// identical at every thread count.
+pub(crate) fn collect_sends<St, X, F>(cfg: &ExecutorConfig, states: &[St], f: F) -> Vec<(NodeId, X)>
+where
+    St: Sync,
+    X: Send,
+    F: Fn(usize, &St) -> Option<X> + Sync,
+{
+    exec::map_chunks(cfg, states, |start, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .filter_map(|(off, st)| f(start + off, st).map(|x| (NodeId::new(start + off), x)))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Applies `f(state, inbox)` to every node with a non-empty inbox (taking the
+/// inbox), sharding states and inboxes together. Returns whether any node
+/// received. The shared receive phase of both runners.
+pub(crate) fn receive_phase<St, M, F>(
+    cfg: &ExecutorConfig,
+    states: &mut [St],
+    inboxes: &mut [Vec<(NodeId, M)>],
+    f: F,
+) -> bool
+where
+    St: Send,
+    M: Send,
+    F: Fn(&mut St, Vec<(NodeId, M)>) + Sync,
+{
+    exec::map_chunks_mut2(cfg, states, inboxes, |_start, sts, inbs| {
+        let mut any = false;
+        for (st, inbox) in sts.iter_mut().zip(inbs.iter_mut()) {
+            if !inbox.is_empty() {
+                any = true;
+                f(st, std::mem::take(inbox));
+            }
+        }
+        any
+    })
+    .into_iter()
+    .any(|b| b)
+}
+
+/// Delivers one round of messages through the configured backend.
+///
+/// `senders` lists the round's senders **in node order** with their per-sender
+/// payloads; `expand` turns one sender's payload into `(receiver, edge, msg)`
+/// emissions (calling the sink once per message, in the sender's emission
+/// order). The function charges `msg.words()` per emission to `metrics` and
+/// appends `(sender, msg)` to each receiver's inbox — in global
+/// `(shard, node, edge)` order for every backend, so inbox contents are
+/// byte-identical across backends and thread counts.
+pub(crate) fn deliver_phase<S, M, F>(
+    cfg: &ExecutorConfig,
+    senders: &[(NodeId, S)],
+    expand: &F,
+    metrics: &mut Metrics,
+    inboxes: &mut [Vec<(NodeId, M)>],
+) where
+    S: Sync,
+    M: Wire + Send,
+    F: Fn(NodeId, &S, &mut dyn FnMut(NodeId, EdgeId, M)) + Sync,
+{
+    match cfg.resolved_backend() {
+        DeliveryBackend::Sequential => {
+            for (v, payload) in senders {
+                expand(*v, payload, &mut |u, e, m| {
+                    metrics.add_messages(e, m.words() as u64);
+                    inboxes[u.index()].push((*v, m));
+                });
+            }
+        }
+        DeliveryBackend::Chunked => {
+            let outboxes: Vec<Deliveries<M>> = exec::map_chunks(cfg, senders, |_start, chunk| {
+                let mut out = Vec::new();
+                for (v, payload) in chunk {
+                    expand(*v, payload, &mut |u, e, m| out.push((u, *v, e, m)));
+                }
+                out
+            });
+            for outbox in &outboxes {
+                metrics
+                    .add_messages_batch(outbox.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
+            }
+            for outbox in outboxes {
+                for (u, v, _e, msg) in outbox {
+                    inboxes[u.index()].push((v, msg));
+                }
+            }
+        }
+        DeliveryBackend::Sharded { shards } => {
+            let plan = ShardPlan::new(inboxes.len(), shards);
+            deliver_sharded(cfg, &plan, senders, expand, metrics, inboxes);
+        }
+    }
+}
+
+/// The sharded delivery path: per-src-shard expansion into per-dst-shard batch
+/// queues, a transpose at the round barrier, then a per-dst-shard drain into
+/// the shard's own mailboxes.
+fn deliver_sharded<S, M, F>(
+    cfg: &ExecutorConfig,
+    plan: &ShardPlan,
+    senders: &[(NodeId, S)],
+    expand: &F,
+    metrics: &mut Metrics,
+    inboxes: &mut [Vec<(NodeId, M)>],
+) where
+    S: Sync,
+    M: Wire + Send,
+    F: Fn(NodeId, &S, &mut dyn FnMut(NodeId, EdgeId, M)) + Sync,
+{
+    let s_count = plan.shards();
+    let threads = cfg.effective_threads();
+
+    // Senders are in node order, so each shard's senders form a contiguous
+    // subslice; find the boundaries once.
+    let mut sender_slices: Vec<&[(NodeId, S)]> = Vec::with_capacity(s_count);
+    {
+        let mut rest = senders;
+        for s in 0..s_count {
+            let end = plan.range(s).end;
+            let cut = rest.partition_point(|(v, _)| v.index() < end);
+            let (mine, tail) = rest.split_at(cut);
+            sender_slices.push(mine);
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty(), "every sender belongs to a shard");
+    }
+
+    // Send half: each source shard expands its senders into one batch queue
+    // per destination shard. Intra-shard messages land in the queue addressed
+    // to the source shard itself and are drained locally below.
+    let expand_shard = |mine: &[(NodeId, S)]| -> Vec<Deliveries<M>> {
+        let mut out: Vec<Deliveries<M>> = (0..s_count).map(|_| Vec::new()).collect();
+        for (v, payload) in mine {
+            expand(*v, payload, &mut |u, e, m| {
+                out[plan.shard_of(u)].push((u, *v, e, m));
+            });
+        }
+        out
+    };
+    let per_src: Vec<Vec<Deliveries<M>>> = if threads <= 1 || s_count <= 1 {
+        sender_slices
+            .iter()
+            .map(|mine| expand_shard(mine))
+            .collect()
+    } else {
+        let mut results: Vec<Option<Vec<Deliveries<M>>>> = (0..s_count).map(|_| None).collect();
+        exec::pool_for(threads).scope(|sc| {
+            let mut rest = results.as_mut_slice();
+            for mine in &sender_slices {
+                let (slot, tail) = rest.split_first_mut().expect("one slot per shard");
+                rest = tail;
+                let expand_shard = &expand_shard;
+                sc.spawn(move |_| *slot = Some(expand_shard(mine)));
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every shard task completes"))
+            .collect()
+    };
+
+    // Accounting: `u64` addition commutes, so charging (src, dst)-ordered
+    // batches reproduces the sequential totals and congestion vector exactly.
+    for batches in &per_src {
+        for batch in batches {
+            metrics.add_messages_batch(batch.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
+        }
+    }
+
+    // Round barrier: transpose the queue matrix from [src][dst] to [dst][src]
+    // (moves Vec headers only — no message is copied).
+    let mut per_dst: Vec<Vec<Deliveries<M>>> =
+        (0..s_count).map(|_| Vec::with_capacity(s_count)).collect();
+    for batches in per_src {
+        for (d, batch) in batches.into_iter().enumerate() {
+            per_dst[d].push(batch);
+        }
+    }
+
+    // Receive half: each destination shard drains the batches addressed to it,
+    // source shards in order, into its own mailbox range. Source-shard order ×
+    // in-shard sender order × emission order = the global (shard, node, edge)
+    // order of the sequential path.
+    let drain = |start: usize, mailboxes: &mut [Vec<(NodeId, M)>], batches: Vec<Deliveries<M>>| {
+        for batch in batches {
+            for (u, v, _e, msg) in batch {
+                mailboxes[u.index() - start].push((v, msg));
+            }
+        }
+    };
+    if threads <= 1 || s_count <= 1 {
+        for (d, batches) in per_dst.into_iter().enumerate() {
+            let range = plan.range(d);
+            drain(range.start, &mut inboxes[range.clone()], batches);
+        }
+    } else {
+        exec::pool_for(threads).scope(|sc| {
+            let mut rest = inboxes;
+            for (d, batches) in per_dst.into_iter().enumerate() {
+                let range = plan.range(d);
+                let (mine, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let drain = &drain;
+                sc.spawn(move |_| drain(range.start, mine, batches));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, Graph};
+
+    fn backends() -> Vec<ExecutorConfig> {
+        vec![
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(4),
+            ExecutorConfig::sharded(1),
+            ExecutorConfig::sharded(3),
+            // `with_backend` swaps the backend of an existing config: a
+            // 4-thread chunked executor re-pointed at 8-shard delivery.
+            ExecutorConfig::with_threads(4).with_backend(DeliveryBackend::Sharded { shards: 8 }),
+            // Sharded layout driven single-threaded: the inline shard loop.
+            ExecutorConfig {
+                threads: 1,
+                backend: DeliveryBackend::Sharded { shards: 4 },
+            },
+        ]
+    }
+
+    #[test]
+    fn plan_covers_every_node_exactly_once() {
+        for (n, shards) in [(0, 3), (1, 1), (7, 3), (16, 4), (5, 9), (40, 8)] {
+            let plan = ShardPlan::new(n, shards);
+            let covered: Vec<usize> = plan.ranges().flatten().collect();
+            assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} shards={shards}");
+            for v in 0..n {
+                let s = plan.shard_of(NodeId::new(v));
+                assert!(plan.range(s).contains(&v), "node {v} in its shard's range");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_clamps_shard_count() {
+        assert_eq!(ShardPlan::new(4, 0).shards(), 1);
+        assert_eq!(ShardPlan::new(4, 100).shards(), 4);
+        assert_eq!(ShardPlan::new(0, 5).shards(), 1);
+    }
+
+    /// A broadcast-style expansion over a graph: every backend must fill the
+    /// inboxes in the identical order and charge identical metrics.
+    fn run_delivery(g: &Graph, cfg: &ExecutorConfig) -> (Metrics, Vec<Vec<(NodeId, u64)>>) {
+        // Every third node sends its ID over each incident edge.
+        let senders: Vec<(NodeId, u64)> = g
+            .nodes()
+            .filter(|v| v.index() % 3 == 0)
+            .map(|v| (v, v.index() as u64))
+            .collect();
+        let expand = |v: NodeId, payload: &u64, sink: &mut dyn FnMut(NodeId, EdgeId, u64)| {
+            for (e, u) in g.incident(v) {
+                sink(u, e, *payload);
+            }
+        };
+        let mut metrics = Metrics::new(g.m());
+        let mut inboxes: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); g.n()];
+        deliver_phase(cfg, &senders, &expand, &mut metrics, &mut inboxes);
+        (metrics, inboxes)
+    }
+
+    #[test]
+    fn all_backends_deliver_identically() {
+        for g in [
+            generators::gnp_connected(30, 0.2, 5),
+            generators::star(17),
+            generators::path(23),
+        ] {
+            let (base_metrics, base_inboxes) = run_delivery(&g, &ExecutorConfig::sequential());
+            for cfg in backends() {
+                let (m, i) = run_delivery(&g, &cfg);
+                assert_eq!(base_metrics, m, "metrics under {cfg:?}");
+                assert_eq!(base_inboxes, i, "inbox order under {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_round_is_free() {
+        let g = generators::path(5);
+        for cfg in backends() {
+            let expand = |_v: NodeId, _p: &u64, _s: &mut dyn FnMut(NodeId, EdgeId, u64)| {
+                panic!("no senders, no expansion")
+            };
+            let mut metrics = Metrics::new(g.m());
+            let mut inboxes: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); g.n()];
+            deliver_phase(&cfg, &[], &expand, &mut metrics, &mut inboxes);
+            assert_eq!(metrics.messages, 0);
+            assert!(inboxes.iter().all(Vec::is_empty));
+        }
+    }
+}

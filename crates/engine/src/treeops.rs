@@ -23,10 +23,21 @@
 //! [`upcast_budgeted`] / [`downcast_budgeted`]) and the call fails with
 //! [`EngineError::BudgetExceeded`] instead of silently overspending — the enforcement
 //! hook for "message-optimal" claims.
+//!
+//! Every primitive also has a `_with` form taking an
+//! [`ExecutorConfig`], threading the executor's delivery
+//! backend through the schedule: upcast/downcast hand it to the router's
+//! path precompute, and convergecast/broadcast under
+//! [`DeliveryBackend::Sharded`] run their level-synchronous schedule over
+//! per-shard batch queues (the MST phase loop's announce → convergecast →
+//! merge is the first workload). Outcomes and metrics are byte-identical for
+//! every backend — `tests/backend_conformance.rs` pins it.
 
 use crate::error::EngineError;
+use crate::exec::{DeliveryBackend, ExecutorConfig};
 use crate::metrics::Metrics;
 use crate::router::{self, RouteTask};
+use crate::shard::ShardPlan;
 use crate::wire::Wire;
 use congest_graph::{EdgeId, Graph, NodeId};
 
@@ -209,6 +220,22 @@ pub fn upcast<P: Wire>(
     forest: &Forest,
     items: Vec<(NodeId, P)>,
 ) -> Result<UpcastOutcome<P>, EngineError> {
+    upcast_with(g, forest, items, &ExecutorConfig::default())
+}
+
+/// [`upcast`] with an explicit executor: the per-task path→edge precompute of
+/// the realized schedule runs through `cfg` (see [`router::route_with`]).
+/// Outcomes and metrics are identical for every backend and thread count.
+///
+/// # Errors
+///
+/// Propagates routing errors (cannot occur for a validated forest).
+pub fn upcast_with<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    items: Vec<(NodeId, P)>,
+    cfg: &ExecutorConfig,
+) -> Result<UpcastOutcome<P>, EngineError> {
     let tasks: Vec<RouteTask> = items
         .iter()
         .map(|(v, p)| RouteTask {
@@ -216,7 +243,7 @@ pub fn upcast<P: Wire>(
             words: p.words(),
         })
         .collect();
-    let report = router::route(g, &tasks)?;
+    let report = router::route_with(g, &tasks, cfg)?;
 
     let mut root_slot = vec![usize::MAX; g.n()];
     for (i, &r) in forest.roots().iter().enumerate() {
@@ -261,6 +288,21 @@ pub fn downcast<P: Wire>(
     forest: &Forest,
     items: Vec<(NodeId, P)>,
 ) -> Result<DowncastOutcome<P>, EngineError> {
+    downcast_with(g, forest, items, &ExecutorConfig::default())
+}
+
+/// [`downcast`] with an explicit executor (see [`upcast_with`]). Outcomes and
+/// metrics are identical for every backend and thread count.
+///
+/// # Errors
+///
+/// Propagates routing errors (cannot occur for a validated forest).
+pub fn downcast_with<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    items: Vec<(NodeId, P)>,
+    cfg: &ExecutorConfig,
+) -> Result<DowncastOutcome<P>, EngineError> {
     let tasks: Vec<RouteTask> = items
         .iter()
         .map(|(dest, p)| {
@@ -272,7 +314,7 @@ pub fn downcast<P: Wire>(
             }
         })
         .collect();
-    let report = router::route(g, &tasks)?;
+    let report = router::route_with(g, &tasks, cfg)?;
 
     let mut at_node: Vec<Vec<P>> = vec![Vec::new(); g.n()];
     let mut order: Vec<usize> = (0..items.len()).collect();
@@ -370,25 +412,91 @@ pub fn convergecast<P: Wire>(
     combine: impl Fn(P, P) -> P,
     budget: Option<u64>,
 ) -> Result<ConvergecastOutcome<P>, EngineError> {
+    convergecast_with(
+        g,
+        forest,
+        values,
+        combine,
+        budget,
+        &ExecutorConfig::default(),
+    )
+}
+
+/// [`convergecast`] with an explicit executor. The sequential/chunked backends
+/// fold over a depth-sorted node order; the sharded backend runs the same
+/// level-synchronous schedule explicitly — level buckets instead of a sort,
+/// one batch queue per destination shard per level, drained in shard order —
+/// which is both the delivery structure of [`DeliveryBackend::Sharded`] and
+/// cheaper on deep forests (`O(n + depth)` bookkeeping instead of
+/// `O(n log n)` per call). Children of one parent always fold in ascending
+/// node order, so outcomes and metrics are byte-identical across backends.
+///
+/// # Errors
+///
+/// [`EngineError::BudgetExceeded`] if the realized message count exceeds `budget`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != g.n()` (one value per node).
+pub fn convergecast_with<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    values: Vec<P>,
+    combine: impl Fn(P, P) -> P,
+    budget: Option<u64>,
+    cfg: &ExecutorConfig,
+) -> Result<ConvergecastOutcome<P>, EngineError> {
     assert_eq!(values.len(), g.n(), "one value per node");
     let mut acc: Vec<Option<P>> = values.into_iter().map(Some).collect();
-    // Deepest nodes first; the sort is stable, so same-depth nodes (in particular all
-    // children of one parent) stay in ascending node order.
-    let mut order: Vec<NodeId> = g.nodes().collect();
-    order.sort_by_key(|v| std::cmp::Reverse(forest.depth_of(*v)));
 
     let mut metrics = Metrics::new(g.m());
     let mut max_words = 0usize;
     let mut max_sender_depth = 0u32;
-    for v in order {
-        if let (Some(p), Some(e)) = (forest.parent(v), forest.parent_edge(v)) {
-            let sent = acc[v.index()].take().expect("each node sends once");
-            let words = sent.words();
-            metrics.add_messages(e, words as u64);
-            max_words = max_words.max(words);
-            max_sender_depth = max_sender_depth.max(forest.depth_of(v));
-            let own = acc[p.index()].take().expect("parent not yet sent");
-            acc[p.index()] = Some(combine(own, sent));
+    let mut note_sender = |v: NodeId, sent: &P| {
+        max_words = max_words.max(sent.words());
+        max_sender_depth = max_sender_depth.max(forest.depth_of(v));
+    };
+    match cfg.resolved_backend() {
+        DeliveryBackend::Sharded { shards } => {
+            // Level-synchronous over depth buckets: all children of one parent
+            // share a level (parent at depth d ⇒ children at d+1), so filling
+            // the per-destination-shard queues in sender order and draining
+            // them at the level barrier, shards in order, folds each parent's
+            // children in ascending node order — the sequential fold order.
+            let plan = ShardPlan::new(g.n(), shards);
+            let levels = level_buckets(g, forest);
+            let mut queues: Vec<Vec<(NodeId, EdgeId, P)>> = vec![Vec::new(); plan.shards()];
+            for level in (1..levels.len()).rev() {
+                for &v in &levels[level] {
+                    if let (Some(p), Some(e)) = (forest.parent(v), forest.parent_edge(v)) {
+                        let sent = acc[v.index()].take().expect("each node sends once");
+                        note_sender(v, &sent);
+                        queues[plan.shard_of(p)].push((p, e, sent));
+                    }
+                }
+                for q in &mut queues {
+                    for (p, e, sent) in q.drain(..) {
+                        metrics.add_messages(e, sent.words() as u64);
+                        let own = acc[p.index()].take().expect("parent not yet sent");
+                        acc[p.index()] = Some(combine(own, sent));
+                    }
+                }
+            }
+        }
+        _ => {
+            // Deepest nodes first; the sort is stable, so same-depth nodes (in
+            // particular all children of one parent) stay in ascending node order.
+            let mut order: Vec<NodeId> = g.nodes().collect();
+            order.sort_by_key(|v| std::cmp::Reverse(forest.depth_of(*v)));
+            for v in order {
+                if let (Some(p), Some(e)) = (forest.parent(v), forest.parent_edge(v)) {
+                    let sent = acc[v.index()].take().expect("each node sends once");
+                    note_sender(v, &sent);
+                    metrics.add_messages(e, sent.words() as u64);
+                    let own = acc[p.index()].take().expect("parent not yet sent");
+                    acc[p.index()] = Some(combine(own, sent));
+                }
+            }
         }
     }
     metrics.rounds = u64::from(max_sender_depth) * max_words as u64;
@@ -399,6 +507,16 @@ pub fn convergecast<P: Wire>(
         .map(|r| acc[r.index()].take().expect("roots never send"))
         .collect();
     Ok(ConvergecastOutcome { at_root, metrics })
+}
+
+/// Nodes bucketed by forest depth, ascending node order within each bucket
+/// (`O(n + depth)` — the sharded backend's substitute for depth sorting).
+fn level_buckets(g: &Graph, forest: &Forest) -> Vec<Vec<NodeId>> {
+    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); forest.depth() as usize + 1];
+    for v in g.nodes() {
+        levels[forest.depth_of(v) as usize].push(v);
+    }
+    levels
 }
 
 /// Result of a [`broadcast`] run.
@@ -428,6 +546,26 @@ pub fn broadcast<P: Wire>(
     payloads: Vec<(NodeId, P)>,
     budget: Option<u64>,
 ) -> Result<BroadcastOutcome<P>, EngineError> {
+    broadcast_with(g, forest, payloads, budget, &ExecutorConfig::default())
+}
+
+/// [`broadcast`] with an explicit executor. The sequential/chunked backends
+/// flood over a depth-sorted node order; the sharded backend walks the same
+/// level-synchronous schedule over depth buckets (`O(n + depth)` instead of a
+/// sort) — per-node writes are independent and accounting commutes, so
+/// outcomes and metrics are byte-identical across backends.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidForest`] if a payload's source node is not a root;
+/// [`EngineError::BudgetExceeded`] if the realized message count exceeds `budget`.
+pub fn broadcast_with<P: Wire>(
+    g: &Graph,
+    forest: &Forest,
+    payloads: Vec<(NodeId, P)>,
+    budget: Option<u64>,
+    cfg: &ExecutorConfig,
+) -> Result<BroadcastOutcome<P>, EngineError> {
     let mut at_root: Vec<Option<P>> = vec![None; g.n()];
     for (r, p) in payloads {
         if forest.parent(r).is_some() {
@@ -442,12 +580,12 @@ pub fn broadcast<P: Wire>(
     let mut max_words = 0usize;
     let mut max_depth = 0u32;
     // Nodes in ascending depth order: each node's payload (if its root broadcasts) is
-    // its root's, and its parent edge carries it once.
-    let mut order: Vec<NodeId> = g.nodes().collect();
-    order.sort_by_key(|v| forest.depth_of(*v));
-    for v in order {
+    // its root's, and its parent edge carries it once. The sharded backend
+    // iterates the level buckets directly; the others sort (stably, so both
+    // orders are level-by-level in ascending node order — identical).
+    let mut flood = |v: NodeId| {
         let Some(p) = at_root[forest.root_of(v).index()].as_ref() else {
-            continue;
+            return;
         };
         let p = p.clone();
         if let Some(e) = forest.parent_edge(v) {
@@ -457,6 +595,19 @@ pub fn broadcast<P: Wire>(
             max_depth = max_depth.max(forest.depth_of(v));
         }
         at_node[v.index()] = Some(p);
+    };
+    if let DeliveryBackend::Sharded { .. } = cfg.resolved_backend() {
+        for level in level_buckets(g, forest) {
+            for v in level {
+                flood(v);
+            }
+        }
+    } else {
+        let mut order: Vec<NodeId> = g.nodes().collect();
+        order.sort_by_key(|v| forest.depth_of(*v));
+        for v in order {
+            flood(v);
+        }
     }
     metrics.rounds = u64::from(max_depth) * max_words as u64;
     ensure_budget("broadcast", metrics.messages, budget)?;
@@ -480,7 +631,7 @@ mod tests {
                 }
             })
             .collect();
-        let f = Forest::from_parents(&g, parent).unwrap();
+        let f = Forest::from_parents(&g, parent).expect("valid parent pointers");
         (g, f)
     }
 
@@ -520,7 +671,7 @@ mod tests {
     fn upcast_delivers_all_items() {
         let (g, f) = path_forest(5);
         let items: Vec<(NodeId, u64)> = (0..5).map(|i| (NodeId::new(i), i as u64 * 10)).collect();
-        let out = upcast(&g, &f, items).unwrap();
+        let out = upcast(&g, &f, items).expect("upcast over a valid forest");
         assert_eq!(out.at_root.len(), 1);
         let got: Vec<u64> = out.at_root[0].iter().map(|d| d.payload).collect();
         let mut sorted = got.clone();
@@ -541,10 +692,10 @@ mod tests {
         let parent: Vec<Option<NodeId>> = (0..6)
             .map(|i| if i == 0 { None } else { Some(NodeId::new(0)) })
             .collect();
-        let f = Forest::from_parents(&g, parent).unwrap();
+        let f = Forest::from_parents(&g, parent).expect("valid parent pointers");
         let items: Vec<(NodeId, Vec<u64>)> =
             (1..6).map(|i| (NodeId::new(i), vec![7u64; 3])).collect();
-        let out = upcast(&g, &f, items).unwrap();
+        let out = upcast(&g, &f, items).expect("upcast over a valid forest");
         assert_eq!(out.metrics.messages, 15);
         assert_eq!(out.metrics.rounds, 3); // 3 words pipelined on disjoint edges
         assert_eq!(out.at_root[0].len(), 5);
@@ -555,7 +706,7 @@ mod tests {
         let (g, f) = path_forest(5);
         // Root sends one item to each node.
         let items: Vec<(NodeId, u64)> = (1..5).map(|i| (NodeId::new(i), i as u64)).collect();
-        let out = downcast(&g, &f, items).unwrap();
+        let out = downcast(&g, &f, items).expect("downcast over a valid forest");
         for i in 1..5 {
             assert_eq!(out.at_node[i], vec![i as u64]);
         }
@@ -568,7 +719,7 @@ mod tests {
     #[test]
     fn downcast_to_root_is_free() {
         let (g, f) = path_forest(3);
-        let out = downcast(&g, &f, vec![(NodeId::new(0), 42u64)]).unwrap();
+        let out = downcast(&g, &f, vec![(NodeId::new(0), 42u64)]).expect("local downcast");
         assert_eq!(out.at_node[0], vec![42]);
         assert_eq!(out.metrics.messages, 0);
         assert_eq!(out.metrics.rounds, 0);
@@ -586,9 +737,9 @@ mod tests {
             Some(NodeId::new(3)),
             Some(NodeId::new(4)),
         ];
-        let f = Forest::from_parents(&g, parent).unwrap();
+        let f = Forest::from_parents(&g, parent).expect("valid parent pointers");
         let items = vec![(NodeId::new(2), 1u64), (NodeId::new(5), 2u64)];
-        let out = upcast(&g, &f, items).unwrap();
+        let out = upcast(&g, &f, items).expect("upcast over a valid forest");
         assert_eq!(out.metrics.rounds, 2);
         assert_eq!(out.metrics.messages, 4);
         assert_eq!(out.at_root[0][0].payload, 1);
@@ -598,7 +749,8 @@ mod tests {
     #[test]
     fn convergecast_sums_subtree() {
         let (g, f) = path_forest(5);
-        let out = convergecast(&g, &f, vec![1u64; 5], |a, b| a + b, None).unwrap();
+        let out = convergecast(&g, &f, vec![1u64; 5], |a, b| a + b, None)
+            .expect("unbudgeted convergecast");
         assert_eq!(out.at_root, vec![5]);
         // One word per tree edge, depth rounds.
         assert_eq!(out.metrics.messages, 4);
@@ -611,7 +763,7 @@ mod tests {
         let g = generators::star(6);
         let parent: Vec<Option<NodeId>> =
             (0..6).map(|i| (i != 0).then_some(NodeId::new(0))).collect();
-        let f = Forest::from_parents(&g, parent).unwrap();
+        let f = Forest::from_parents(&g, parent).expect("valid parent pointers");
         let values: Vec<Vec<u64>> = (0..6).map(|i| vec![i as u64]).collect();
         let out = convergecast(
             &g,
@@ -623,7 +775,7 @@ mod tests {
             },
             None,
         )
-        .unwrap();
+        .expect("vector-append convergecast");
         assert_eq!(out.at_root[0], vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(out.metrics.rounds, 1); // depth 1, 1-word payloads
         assert_eq!(out.metrics.messages, 5);
@@ -646,7 +798,8 @@ mod tests {
     #[test]
     fn broadcast_floods_whole_tree() {
         let (g, f) = path_forest(4);
-        let out = broadcast(&g, &f, vec![(NodeId::new(0), 7u64)], None).unwrap();
+        let out =
+            broadcast(&g, &f, vec![(NodeId::new(0), 7u64)], None).expect("unbudgeted broadcast");
         assert!(out.at_node.iter().all(|p| *p == Some(7)));
         assert_eq!(out.metrics.messages, 3);
         assert_eq!(out.metrics.rounds, 3);
@@ -657,8 +810,9 @@ mod tests {
         // Two trees; only the second broadcasts.
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         let parent = vec![None, Some(NodeId::new(0)), None, Some(NodeId::new(2))];
-        let f = Forest::from_parents(&g, parent).unwrap();
-        let out = broadcast(&g, &f, vec![(NodeId::new(2), 9u64)], None).unwrap();
+        let f = Forest::from_parents(&g, parent).expect("valid parent pointers");
+        let out =
+            broadcast(&g, &f, vec![(NodeId::new(2), 9u64)], None).expect("unbudgeted broadcast");
         assert_eq!(out.at_node, vec![None, None, Some(9), Some(9)]);
         assert_eq!(out.metrics.messages, 1);
         assert_eq!(out.metrics.rounds, 1);

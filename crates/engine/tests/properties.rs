@@ -1,14 +1,79 @@
 //! Property-based tests for the execution engine: routing always delivers, tree
-//! operations deliver everything exactly once, capacity is respected, and the
-//! accounting invariants hold for arbitrary inputs.
+//! operations deliver everything exactly once, capacity is respected, the
+//! accounting invariants hold for arbitrary inputs, and the sharded delivery
+//! backend is indistinguishable from the sequential one — outputs, [`Metrics`],
+//! and even the round/amount at which a budget error fires.
 
-use congest_engine::{downcast, router, treeops::Forest, upcast};
+use congest_engine::{
+    convergecast_with, downcast, router, run_bcongest, treeops::Forest, upcast, BcongestAlgorithm,
+    DeliveryBackend, ExecutorConfig, LocalView, RunOptions, ShardPlan,
+};
 use congest_graph::{generators, reference, NodeId};
 use proptest::prelude::*;
 
 fn bfs_forest(g: &congest_graph::Graph, root: usize) -> Forest {
     let parents = reference::bfs_tree(g, NodeId::new(root));
     Forest::from_parents(g, parents).expect("BFS tree is a forest")
+}
+
+fn opts(seed: u64, exec: ExecutorConfig) -> RunOptions {
+    RunOptions {
+        seed,
+        exec,
+        ..Default::default()
+    }
+}
+
+/// Minimal BCONGEST workload for backend-equivalence properties: flood the
+/// minimum ID, re-broadcasting only on improvement.
+struct MinFlood;
+
+#[derive(Clone, Debug)]
+struct FloodState {
+    best: u32,
+    dirty: bool,
+}
+
+impl BcongestAlgorithm for MinFlood {
+    type State = FloodState;
+    type Msg = u32;
+    type Output = u32;
+
+    fn name(&self) -> &'static str {
+        "prop-min-flood"
+    }
+    fn init(&self, view: &LocalView<'_>) -> FloodState {
+        FloodState {
+            best: view.node().raw(),
+            dirty: true,
+        }
+    }
+    fn broadcast(&self, s: &FloodState, _round: usize) -> Option<u32> {
+        s.dirty.then_some(s.best)
+    }
+    fn on_broadcast_sent(&self, s: &mut FloodState, _round: usize) {
+        s.dirty = false;
+    }
+    fn receive(&self, s: &mut FloodState, _round: usize, msgs: &[(NodeId, u32)]) {
+        for &(_, m) in msgs {
+            if m < s.best {
+                s.best = m;
+                s.dirty = true;
+            }
+        }
+    }
+    fn is_done(&self, s: &FloodState) -> bool {
+        !s.dirty
+    }
+    fn output(&self, s: &FloodState) -> u32 {
+        s.best
+    }
+    fn round_bound(&self, n: usize, _m: usize) -> usize {
+        2 * n + 2
+    }
+    fn output_words(&self, _out: &u32) -> usize {
+        1
+    }
 }
 
 proptest! {
@@ -82,6 +147,72 @@ proptest! {
         }
         let total: usize = out.at_node.iter().map(Vec::len).sum();
         prop_assert_eq!(total, k);
+    }
+
+    #[test]
+    fn shard_plan_partitions_every_node_exactly_once(n in 0usize..300, shards in 0usize..40) {
+        let plan = ShardPlan::new(n, shards);
+        // The ranges cover 0..n exactly once, in order — so merging per-shard
+        // results in shard order is a total, stable order over nodes.
+        let covered: Vec<usize> = plan.ranges().flatten().collect();
+        prop_assert_eq!(covered, (0..n).collect::<Vec<_>>());
+        // `shard_of` agrees with the ranges, and is monotone in the node ID.
+        let mut last = 0usize;
+        for v in 0..n {
+            let s = plan.shard_of(NodeId::new(v));
+            prop_assert!(plan.range(s).contains(&v));
+            prop_assert!(s >= last, "shard_of is monotone over node IDs");
+            last = s;
+        }
+        prop_assert!(plan.shards() >= 1);
+        prop_assert!(plan.shards() <= n.max(1));
+    }
+
+    #[test]
+    fn sharded_delivery_preserves_metrics_exactly(seed in 0u64..80, shards in 1usize..10) {
+        // A random BCONGEST workload (min-flood over G(n,p)) under the sharded
+        // backend must reproduce the sequential run bit for bit: outputs,
+        // rounds, messages, broadcasts, and the per-edge congestion vector.
+        let g = generators::gnp_connected(24 + (seed as usize % 17), 0.15, seed);
+        let base = run_bcongest(&MinFlood, &g, None, &opts(seed, ExecutorConfig::sequential()))
+            .expect("sequential run");
+        let cfgs = [
+            ExecutorConfig::sharded(shards),
+            ExecutorConfig {
+                threads: 1,
+                backend: DeliveryBackend::Sharded { shards },
+            },
+        ];
+        for cfg in cfgs {
+            let run = run_bcongest(&MinFlood, &g, None, &opts(seed, cfg.clone()))
+                .expect("sharded run");
+            prop_assert_eq!(&base.outputs, &run.outputs, "outputs under {:?}", &cfg);
+            prop_assert_eq!(&base.metrics, &run.metrics, "metrics under {:?}", &cfg);
+        }
+    }
+
+    #[test]
+    fn sharded_budget_errors_fire_identically(seed in 0u64..60, shards in 1usize..8, budget in 0u64..40) {
+        // Budget enforcement must trip at the same spend under every backend:
+        // either both runs succeed with identical metrics, or both fail with
+        // the *same* BudgetExceeded (same op, same used, same budget).
+        let g = generators::gnp_connected(18, 0.25, seed);
+        let f = bfs_forest(&g, 0);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let seq = convergecast_with(
+            &g, &f, values.clone(), |a, b| a + b, Some(budget), &ExecutorConfig::sequential(),
+        );
+        let shd = convergecast_with(
+            &g, &f, values, |a, b| a + b, Some(budget), &ExecutorConfig::sharded(shards),
+        );
+        match (seq, shd) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.at_root, b.at_root);
+                prop_assert_eq!(a.metrics, b.metrics);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "identical BudgetExceeded"),
+            (a, b) => prop_assert!(false, "one backend failed, the other did not: {a:?} vs {b:?}"),
+        }
     }
 
     #[test]

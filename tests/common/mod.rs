@@ -1,0 +1,268 @@
+//! Shared workload catalogue for the executor suites: `parallel_determinism.rs`
+//! (thread counts under the chunked backend) and `backend_conformance.rs`
+//! (the full Sequential/Chunked/Sharded delivery-backend matrix) run the same
+//! algorithms over the same graph families through these helpers, so the two
+//! suites cannot drift apart.
+//!
+//! Each suite uses a subset of what is here, hence the file-level
+//! `dead_code` allow.
+#![allow(dead_code)]
+
+use congest_apsp::algos::mst::{distributed_mst, MstConfig};
+use congest_apsp::apsp_core::mst_tradeoff::mst_tradeoff_with;
+use congest_apsp::apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
+use congest_apsp::engine::{
+    run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, DeliveryBackend,
+    ExecutorConfig, LocalView, RunOptions,
+};
+use congest_apsp::graph::{generators, Graph, NodeId, WeightedGraph};
+
+/// Random + pathological families: G(n,p), a path (deep idle-skipping), a star
+/// (maximally skewed degrees — chunk/shard loads are wildly unequal), a cycle,
+/// and a clustered caveman graph.
+pub fn graph_families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp", generators::gnp_connected(60, 0.12, 11)),
+        ("dense-gnp", generators::gnp_connected(40, 0.5, 12)),
+        ("path", generators::path(48)),
+        ("star", generators::star(49)),
+        ("cycle", generators::cycle(40)),
+        ("caveman", generators::caveman(6, 8)),
+    ]
+}
+
+/// The thread-count matrix of `parallel_determinism.rs`: the chunked backend
+/// at 2/4/8 workers, against the sequential baseline.
+pub fn thread_matrix() -> Vec<(String, ExecutorConfig)> {
+    [2, 4, 8]
+        .into_iter()
+        .map(|t| {
+            (
+                format!("chunked/{t}-threads"),
+                ExecutorConfig::with_threads(t),
+            )
+        })
+        .collect()
+}
+
+/// The delivery-backend matrix of `backend_conformance.rs`: every chunked
+/// thread count and every sharded shard count (with matching worker counts),
+/// plus a single-threaded sharded layout — all pinned against the sequential
+/// baseline.
+pub fn backend_matrix() -> Vec<(String, ExecutorConfig)> {
+    let mut cfgs = vec![(
+        "sequential/explicit".to_string(),
+        ExecutorConfig::sequential(),
+    )];
+    for t in [1usize, 2, 4, 8] {
+        cfgs.push((format!("chunked/{t}"), ExecutorConfig::with_threads(t)));
+    }
+    for s in [1usize, 2, 4, 8] {
+        cfgs.push((format!("sharded/{s}"), ExecutorConfig::sharded(s)));
+        cfgs.push((
+            format!("sharded/{s}-1thread"),
+            ExecutorConfig {
+                threads: 1,
+                backend: DeliveryBackend::Sharded { shards: s },
+            },
+        ));
+    }
+    cfgs
+}
+
+/// [`RunOptions`] with an explicit seed and executor.
+pub fn opts(seed: u64, exec: ExecutorConfig) -> RunOptions {
+    RunOptions {
+        seed,
+        exec,
+        ..Default::default()
+    }
+}
+
+/// Runs a BCONGEST workload sequentially, then under every configuration in
+/// `configs`, asserting byte-identical outputs and metrics (rounds, messages,
+/// broadcasts, and the full per-edge congestion vector).
+pub fn assert_bcongest_matches<A>(
+    name: &str,
+    algo: &A,
+    g: &Graph,
+    seed: u64,
+    configs: &[(String, ExecutorConfig)],
+) where
+    A: BcongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
+    let base = run_bcongest(algo, g, None, &opts(seed, ExecutorConfig::sequential()))
+        .expect("sequential run");
+    for (label, cfg) in configs {
+        let run = run_bcongest(algo, g, None, &opts(seed, cfg.clone()))
+            .unwrap_or_else(|e| panic!("{name}: run under {label} failed: {e}"));
+        assert_eq!(base.outputs, run.outputs, "{name}: outputs @ {label}");
+        assert_eq!(base.metrics, run.metrics, "{name}: metrics @ {label}");
+        assert_eq!(
+            base.input_words, run.input_words,
+            "{name}: input words @ {label}"
+        );
+        assert_eq!(
+            base.output_words, run.output_words,
+            "{name}: output words @ {label}"
+        );
+    }
+}
+
+/// [`assert_bcongest_matches`] for point-to-point CONGEST workloads.
+pub fn assert_congest_matches<A>(
+    name: &str,
+    algo: &A,
+    g: &Graph,
+    seed: u64,
+    configs: &[(String, ExecutorConfig)],
+) where
+    A: CongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
+    let base = run_congest(algo, g, None, &opts(seed, ExecutorConfig::sequential()))
+        .expect("sequential run");
+    for (label, cfg) in configs {
+        let run = run_congest(algo, g, None, &opts(seed, cfg.clone()))
+            .unwrap_or_else(|e| panic!("{name}: run under {label} failed: {e}"));
+        assert_eq!(base.outputs, run.outputs, "{name}: outputs @ {label}");
+        assert_eq!(base.metrics, run.metrics, "{name}: metrics @ {label}");
+    }
+}
+
+/// Differential GHS MST: edges, weight, fragments, phases, and metrics must be
+/// identical under every configuration.
+pub fn assert_mst_matches(name: &str, wg: &WeightedGraph, configs: &[(String, ExecutorConfig)]) {
+    let cfg_for = |exec: ExecutorConfig| MstConfig {
+        exec,
+        ..Default::default()
+    };
+    let base = distributed_mst(wg, &cfg_for(ExecutorConfig::sequential())).expect("sequential mst");
+    for (label, cfg) in configs {
+        let run = distributed_mst(wg, &cfg_for(cfg.clone()))
+            .unwrap_or_else(|e| panic!("{name}: mst under {label} failed: {e}"));
+        assert_eq!(base.edges, run.edges, "{name}: edges @ {label}");
+        assert_eq!(
+            base.total_weight, run.total_weight,
+            "{name}: weight @ {label}"
+        );
+        assert_eq!(base.fragment, run.fragment, "{name}: fragments @ {label}");
+        assert_eq!(base.phases, run.phases, "{name}: phases @ {label}");
+        assert_eq!(base.metrics, run.metrics, "{name}: metrics @ {label}");
+    }
+}
+
+/// Differential k-parameterized MST trade-off: edges, route, and metrics must
+/// be identical under every configuration.
+pub fn assert_tradeoff_matches(
+    name: &str,
+    wg: &WeightedGraph,
+    k: usize,
+    seed: u64,
+    configs: &[(String, ExecutorConfig)],
+) {
+    let base =
+        mst_tradeoff_with(wg, k, seed, &ExecutorConfig::sequential()).expect("sequential tradeoff");
+    for (label, cfg) in configs {
+        let run = mst_tradeoff_with(wg, k, seed, cfg)
+            .unwrap_or_else(|e| panic!("{name}: tradeoff under {label} failed: {e}"));
+        assert_eq!(base.edges, run.edges, "{name}: edges @ {label}");
+        assert_eq!(base.route, run.route, "{name}: route @ {label}");
+        assert_eq!(base.metrics, run.metrics, "{name}: metrics @ {label}");
+    }
+}
+
+/// Differential weighted APSP through the Theorem 2.1 simulation: distances,
+/// metrics, and the simulated complexity measures must be identical under
+/// every configuration.
+pub fn assert_weighted_apsp_matches(
+    name: &str,
+    wg: &WeightedGraph,
+    seed: u64,
+    configs: &[(String, ExecutorConfig)],
+) {
+    let apsp_cfg = |exec: ExecutorConfig| WeightedApspConfig {
+        seed,
+        exec,
+        ..Default::default()
+    };
+    let base = weighted_apsp(wg, &apsp_cfg(ExecutorConfig::sequential())).expect("sequential apsp");
+    for (label, cfg) in configs {
+        let run = weighted_apsp(wg, &apsp_cfg(cfg.clone()))
+            .unwrap_or_else(|e| panic!("{name}: apsp under {label} failed: {e}"));
+        assert_eq!(base.distances, run.distances, "{name}: distances @ {label}");
+        assert_eq!(base.metrics, run.metrics, "{name}: metrics @ {label}");
+        assert_eq!(
+            base.simulated_broadcasts, run.simulated_broadcasts,
+            "{name}: B_A @ {label}"
+        );
+        assert_eq!(
+            base.simulated_rounds, run.simulated_rounds,
+            "{name}: T_A @ {label}"
+        );
+    }
+}
+
+/// A point-to-point CONGEST workload for the `run_congest` path: flood each
+/// node's ID one hop at a time with per-neighbor messages, outputting a
+/// checksum over everything heard (order-sensitive, so inbox-order leaks are
+/// caught too).
+pub struct GossipOnce;
+
+#[derive(Clone, Debug)]
+pub struct GossipState {
+    neighbors: Vec<NodeId>,
+    pending: bool,
+    heard: u64,
+}
+
+impl CongestAlgorithm for GossipOnce {
+    type State = GossipState;
+    type Msg = u32;
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "gossip-once"
+    }
+    fn init(&self, view: &LocalView<'_>) -> GossipState {
+        GossipState {
+            neighbors: view.neighbors().to_vec(),
+            pending: true,
+            heard: u64::from(view.node().raw()),
+        }
+    }
+    fn sends(&self, s: &GossipState, _round: usize) -> Vec<(NodeId, u32)> {
+        if !s.pending {
+            return Vec::new();
+        }
+        s.neighbors
+            .iter()
+            .map(|&u| (u, (s.heard & 0xffff_ffff) as u32))
+            .collect()
+    }
+    fn on_sent(&self, s: &mut GossipState, _round: usize) {
+        s.pending = false;
+    }
+    fn receive(&self, s: &mut GossipState, round: usize, msgs: &[(NodeId, u32)]) {
+        // Deliberately order-sensitive fold: a reordered inbox would change
+        // the checksum.
+        for &(from, w) in msgs {
+            s.heard = s
+                .heard
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(u64::from(from.raw()) ^ u64::from(w) ^ round as u64);
+        }
+    }
+    fn is_done(&self, s: &GossipState) -> bool {
+        !s.pending
+    }
+    fn output(&self, s: &GossipState) -> u64 {
+        s.heard
+    }
+    fn round_bound(&self, n: usize, _m: usize) -> usize {
+        n + 2
+    }
+}

@@ -1,73 +1,45 @@
 //! The parallel executor's contract, enforced: for every workload and every
 //! graph family, running at 2, 4 and 8 executor threads produces outputs and
-//! [`Metrics`] **identical** to the sequential run (`threads = 1`). Metrics
+//! `Metrics` **identical** to the sequential run (`threads = 1`). Metrics
 //! equality is structural — rounds, messages, broadcasts, and the full
 //! per-edge congestion vector — so any scheduling-order leak in the chunk
 //! merge shows up as a hard failure, not a statistical blip.
+//!
+//! The workload list and equality helpers live in `tests/common/mod.rs`,
+//! shared with `tests/backend_conformance.rs` (which runs the same workloads
+//! across the full Sequential/Chunked/Sharded delivery-backend matrix).
 
+mod common;
+
+use common::{
+    assert_bcongest_matches, assert_congest_matches, assert_mst_matches, assert_tradeoff_matches,
+    assert_weighted_apsp_matches, graph_families, opts, thread_matrix, GossipOnce,
+};
 use congest_apsp::algos::bfs::Bfs;
 use congest_apsp::algos::bfs_collection::BfsCollection;
 use congest_apsp::algos::leader::LeaderElect;
-use congest_apsp::algos::mst::{distributed_mst, MstConfig};
-use congest_apsp::apsp_core::mst_tradeoff::mst_tradeoff_with;
-use congest_apsp::apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
-use congest_apsp::engine::{
-    run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, ExecutorConfig, LocalView,
-    RunOptions,
-};
-use congest_apsp::graph::{generators, Graph, NodeId, WeightedGraph};
-
-const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
-
-/// Random + pathological families: G(n,p), a path (deep idle-skipping), a star
-/// (maximally skewed degrees — chunk loads are wildly unequal), a cycle, and a
-/// clustered caveman graph.
-fn graph_families() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("gnp", generators::gnp_connected(60, 0.12, 11)),
-        ("dense-gnp", generators::gnp_connected(40, 0.5, 12)),
-        ("path", generators::path(48)),
-        ("star", generators::star(49)),
-        ("cycle", generators::cycle(40)),
-        ("caveman", generators::caveman(6, 8)),
-    ]
-}
-
-fn opts(seed: u64, threads: usize) -> RunOptions {
-    RunOptions {
-        seed,
-        exec: ExecutorConfig::with_threads(threads),
-        ..Default::default()
-    }
-}
-
-fn assert_bcongest_deterministic<A>(name: &str, algo: &A, g: &Graph, seed: u64)
-where
-    A: BcongestAlgorithm + Sync,
-    A::State: Send + Sync,
-    A::Msg: Send + Sync,
-{
-    let base = run_bcongest(algo, g, None, &opts(seed, 1)).expect("sequential run");
-    for t in THREAD_COUNTS {
-        let par = run_bcongest(algo, g, None, &opts(seed, t)).expect("parallel run");
-        assert_eq!(base.outputs, par.outputs, "{name}: outputs @ {t} threads");
-        assert_eq!(base.metrics, par.metrics, "{name}: metrics @ {t} threads");
-        assert_eq!(base.input_words, par.input_words, "{name}: input words");
-        assert_eq!(base.output_words, par.output_words, "{name}: output words");
-    }
-}
+use congest_apsp::engine::{run_bcongest, ExecutorConfig};
+use congest_apsp::graph::{generators, NodeId, WeightedGraph};
 
 #[test]
 fn bfs_identical_across_thread_counts() {
+    let configs = thread_matrix();
     for (family, g) in graph_families() {
-        assert_bcongest_deterministic(&format!("bfs/{family}"), &Bfs::new(NodeId::new(0)), &g, 5);
+        assert_bcongest_matches(
+            &format!("bfs/{family}"),
+            &Bfs::new(NodeId::new(0)),
+            &g,
+            5,
+            &configs,
+        );
     }
 }
 
 #[test]
 fn leader_election_identical_across_thread_counts() {
+    let configs = thread_matrix();
     for (family, g) in graph_families() {
-        assert_bcongest_deterministic(&format!("leader/{family}"), &LeaderElect, &g, 7);
+        assert_bcongest_matches(&format!("leader/{family}"), &LeaderElect, &g, 7, &configs);
     }
 }
 
@@ -76,9 +48,10 @@ fn bfs_collection_with_random_delays_identical_across_thread_counts() {
     // The Theorem 1.4 workload: per-node randomness (derived seeds) plus
     // staggered wave starts — the hardest BCONGEST payload to keep bitwise
     // stable under resharding.
+    let configs = thread_matrix();
     for (family, g) in graph_families() {
         let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(13);
-        assert_bcongest_deterministic(&format!("bfs-collection/{family}"), &algo, &g, 13);
+        assert_bcongest_matches(&format!("bfs-collection/{family}"), &algo, &g, 13, &configs);
     }
 }
 
@@ -88,36 +61,7 @@ fn weighted_apsp_identical_across_thread_counts() {
     // build, upcasts/downcasts, and the stepper all honor the executor.
     let g = generators::gnp_connected(26, 0.18, 21);
     let wg = WeightedGraph::random_weights(&g, 1..=9, 21);
-    let base = weighted_apsp(
-        &wg,
-        &WeightedApspConfig {
-            seed: 3,
-            exec: ExecutorConfig::sequential(),
-            ..Default::default()
-        },
-    )
-    .expect("sequential apsp");
-    for t in THREAD_COUNTS {
-        let par = weighted_apsp(
-            &wg,
-            &WeightedApspConfig {
-                seed: 3,
-                exec: ExecutorConfig::with_threads(t),
-                ..Default::default()
-            },
-        )
-        .expect("parallel apsp");
-        assert_eq!(base.distances, par.distances, "distances @ {t} threads");
-        assert_eq!(base.metrics, par.metrics, "metrics @ {t} threads");
-        assert_eq!(
-            base.simulated_broadcasts, par.simulated_broadcasts,
-            "B_A @ {t} threads"
-        );
-        assert_eq!(
-            base.simulated_rounds, par.simulated_rounds,
-            "T_A @ {t} threads"
-        );
-    }
+    assert_weighted_apsp_matches("apsp/gnp", &wg, 3, &thread_matrix());
 }
 
 #[test]
@@ -125,33 +69,10 @@ fn mst_identical_across_thread_counts() {
     // The GHS workload: per-phase chunk-parallel MWOE scans and announcement
     // charging plus the tree primitives. Outputs (edge set, fragments), rounds,
     // messages, and the full per-edge congestion vector are pinned byte-identical.
+    let configs = thread_matrix();
     for (family, g) in graph_families() {
         let wg = WeightedGraph::random_weights(&g, 1..=9, 17);
-        let cfg = |t: usize| MstConfig {
-            exec: ExecutorConfig::with_threads(t),
-            ..Default::default()
-        };
-        let base = distributed_mst(&wg, &cfg(1)).expect("sequential mst");
-        for t in THREAD_COUNTS {
-            let par = distributed_mst(&wg, &cfg(t)).expect("parallel mst");
-            assert_eq!(base.edges, par.edges, "mst/{family}: edges @ {t} threads");
-            assert_eq!(
-                base.total_weight, par.total_weight,
-                "mst/{family}: weight @ {t} threads"
-            );
-            assert_eq!(
-                base.fragment, par.fragment,
-                "mst/{family}: fragments @ {t} threads"
-            );
-            assert_eq!(
-                base.phases, par.phases,
-                "mst/{family}: phases @ {t} threads"
-            );
-            assert_eq!(
-                base.metrics, par.metrics,
-                "mst/{family}: metrics @ {t} threads"
-            );
-        }
+        assert_mst_matches(&format!("mst/{family}"), &wg, &configs);
     }
 }
 
@@ -161,99 +82,34 @@ fn mst_tradeoff_identical_across_thread_counts() {
     // election, upcast collection and downcast notification all honor the executor.
     let g = generators::gnp_connected(40, 0.15, 23);
     let wg = WeightedGraph::random_unique_weights(&g, 23);
-    let base = mst_tradeoff_with(&wg, 4, 3, &ExecutorConfig::sequential()).expect("sequential");
-    for t in THREAD_COUNTS {
-        let par = mst_tradeoff_with(&wg, 4, 3, &ExecutorConfig::with_threads(t)).expect("parallel");
-        assert_eq!(base.edges, par.edges, "tradeoff edges @ {t} threads");
-        assert_eq!(base.metrics, par.metrics, "tradeoff metrics @ {t} threads");
-        assert_eq!(base.route, par.route, "tradeoff route @ {t} threads");
-    }
-}
-
-/// A point-to-point CONGEST workload for the `run_congest` path: flood each
-/// node's ID one hop at a time with per-neighbor messages, outputting a
-/// checksum over everything heard (order-sensitive, so inbox-order leaks are
-/// caught too).
-struct GossipOnce;
-
-#[derive(Clone, Debug)]
-struct GossipState {
-    neighbors: Vec<NodeId>,
-    pending: bool,
-    heard: u64,
-}
-
-impl CongestAlgorithm for GossipOnce {
-    type State = GossipState;
-    type Msg = u32;
-    type Output = u64;
-
-    fn name(&self) -> &'static str {
-        "gossip-once"
-    }
-    fn init(&self, view: &LocalView<'_>) -> GossipState {
-        GossipState {
-            neighbors: view.neighbors().to_vec(),
-            pending: true,
-            heard: u64::from(view.node().raw()),
-        }
-    }
-    fn sends(&self, s: &GossipState, _round: usize) -> Vec<(NodeId, u32)> {
-        if !s.pending {
-            return Vec::new();
-        }
-        s.neighbors
-            .iter()
-            .map(|&u| (u, (s.heard & 0xffff_ffff) as u32))
-            .collect()
-    }
-    fn on_sent(&self, s: &mut GossipState, _round: usize) {
-        s.pending = false;
-    }
-    fn receive(&self, s: &mut GossipState, round: usize, msgs: &[(NodeId, u32)]) {
-        // Deliberately order-sensitive fold: a resharded inbox order would
-        // change the checksum.
-        for &(from, w) in msgs {
-            s.heard = s
-                .heard
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(u64::from(from.raw()) ^ u64::from(w) ^ round as u64);
-        }
-    }
-    fn is_done(&self, s: &GossipState) -> bool {
-        !s.pending
-    }
-    fn output(&self, s: &GossipState) -> u64 {
-        s.heard
-    }
-    fn round_bound(&self, n: usize, _m: usize) -> usize {
-        n + 2
-    }
+    assert_tradeoff_matches("tradeoff/central", &wg, 4, 3, &thread_matrix());
 }
 
 #[test]
 fn congest_runner_identical_across_thread_counts() {
+    let configs = thread_matrix();
     for (family, g) in graph_families() {
-        let base = run_congest(&GossipOnce, &g, None, &opts(9, 1)).expect("sequential");
-        for t in THREAD_COUNTS {
-            let par = run_congest(&GossipOnce, &g, None, &opts(9, t)).expect("parallel");
-            assert_eq!(
-                base.outputs, par.outputs,
-                "gossip/{family}: outputs @ {t} threads"
-            );
-            assert_eq!(
-                base.metrics, par.metrics,
-                "gossip/{family}: metrics @ {t} threads"
-            );
-        }
+        assert_congest_matches(&format!("gossip/{family}"), &GossipOnce, &g, 9, &configs);
     }
 }
 
 #[test]
 fn zero_threads_resolves_to_hardware_and_stays_deterministic() {
     let g = generators::gnp_connected(30, 0.2, 31);
-    let base = run_bcongest(&Bfs::new(NodeId::new(3)), &g, None, &opts(1, 1)).expect("seq");
-    let auto = run_bcongest(&Bfs::new(NodeId::new(3)), &g, None, &opts(1, 0)).expect("auto");
+    let base = run_bcongest(
+        &Bfs::new(NodeId::new(3)),
+        &g,
+        None,
+        &opts(1, ExecutorConfig::sequential()),
+    )
+    .expect("sequential run");
+    let auto = run_bcongest(
+        &Bfs::new(NodeId::new(3)),
+        &g,
+        None,
+        &opts(1, ExecutorConfig::with_threads(0)),
+    )
+    .expect("hardware-thread run");
     assert_eq!(base.outputs, auto.outputs);
     assert_eq!(base.metrics, auto.metrics);
 }
