@@ -7,6 +7,8 @@
 //! * [`bfs_collection`] — many BFS under random delays (Theorem 1.4), aggregation-based;
 //! * [`apsp_weighted`] — exact weighted APSP via weight-delayed Dijkstra (the
 //!   Bernstein–Nanongkai substitute for Theorem 1.1);
+//! * [`gossip`] — one-shot point-to-point gossip with an order-sensitive checksum
+//!   (the delivery-order probe of the workload registry);
 //! * [`leader`] — leader election / BFS tree / node counting (preprocessing);
 //! * [`mis`] — Luby's maximal independent set (a classic broadcast-based algorithm);
 //! * [`matching_maximal`] — Israeli–Itai randomized maximal matching;
@@ -18,6 +20,7 @@
 pub mod apsp_weighted;
 pub mod bfs;
 pub mod bfs_collection;
+pub mod gossip;
 pub mod leader;
 pub mod matching_bipartite;
 pub mod matching_maximal;

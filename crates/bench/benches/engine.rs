@@ -6,22 +6,22 @@
 //! contract — the cross-check suite and the `--bench-engine` mode assert it —
 //! so this bench only tracks wall-clock shape.
 
-use congest_bench::engine_bench::{run_workloads_once, EngineBenchConfig};
-use congest_graph::generators;
+use congest_bench::engine_bench::{EngineBenchConfig, PreparedWorkloads};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 const SEED: u64 = 20250608;
 
 fn bench_round_executor(c: &mut Criterion) {
     let cfg = EngineBenchConfig::quick(SEED);
-    let g = generators::gnp_connected(cfg.n, cfg.p, cfg.seed);
+    // Workloads and their graphs are built once; the timed body runs them only.
+    let prepared = PreparedWorkloads::new(&cfg);
     let mut group = c.benchmark_group("engine_round_executor");
     group.sample_size(10);
     for threads in cfg.thread_counts.clone() {
         // Warm the pool so its thread-spawn cost stays out of the samples.
-        run_workloads_once(&g, &cfg, threads);
+        prepared.run_once(threads);
         group.bench_function(format!("both_workloads_t{threads}"), |b| {
-            b.iter(|| run_workloads_once(&g, &cfg, black_box(threads)))
+            b.iter(|| prepared.run_once(black_box(threads)))
         });
     }
     group.finish();

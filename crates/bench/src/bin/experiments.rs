@@ -11,6 +11,8 @@
 //!     [--quick] [--out BENCH_mst.json]
 //! cargo run --release -p congest-bench --bin experiments -- --bench-shard \
 //!     [--quick] [--out BENCH_shard.json]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-suite \
+//!     [--quick] [--out BENCH_suite.json]
 //! ```
 //!
 //! `--threads N` sets the process-wide executor default (0 = hardware threads):
@@ -27,11 +29,16 @@
 //! `--bench-shard` sweeps the delivery backends (sequential vs chunked vs
 //! 2/4/8-shard; see `congest_bench::shard_bench`) over APSP and MST workloads,
 //! asserting exact count equality, written to `BENCH_shard.json`.
+//! `--bench-suite` runs the **entire workload registry**
+//! (`congest_workloads::registry`) under every backend of the wall-clock sweep
+//! (see `congest_bench::suite_bench`), asserting byte-identical outcomes, and
+//! writes the per-workload × per-backend trajectory to `BENCH_suite.json`.
 
 use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
 use congest_bench::mst_bench::{run_mst_bench, MstBenchConfig};
 use congest_bench::shard_bench::{run_shard_bench, ShardBenchConfig};
+use congest_bench::suite_bench::{run_suite_bench, SuiteBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -97,6 +104,38 @@ fn main() {
                 );
             }
         }
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-suite") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_suite.json".into());
+        let cfg = if quick {
+            SuiteBenchConfig::quick()
+        } else {
+            SuiteBenchConfig::full()
+        };
+        let report = run_suite_bench(&cfg);
+        for w in &report.workloads {
+            let base = w.samples.first().map_or(0.0, |s| s.wall_ms);
+            println!(
+                "{:<32} n = {:>4}, m = {:>5} | messages {:>8} | rounds {:>6}",
+                w.name, w.n, w.m, w.messages, w.rounds
+            );
+            for s in &w.samples {
+                println!(
+                    "  {:<12} {:>9.3} ms ({:>5.2}x)",
+                    s.backend,
+                    s.wall_ms,
+                    base / s.wall_ms.max(1e-9)
+                );
+            }
+        }
+        println!(
+            "{} workloads, all outcomes identical across backends",
+            report.workloads.len()
+        );
         std::fs::write(&out, report.to_json()).expect("write bench json");
         println!("wrote {out}");
         return;

@@ -4,10 +4,14 @@
 //!
 //! Two workloads exercise the two runners:
 //!
-//! * **bcongest-bfs-collection** — an all-sources BFS collection under
-//!   [`run_bcongest`]: broadcast scans and receive transitions dominate;
+//! * **bcongest-bfs-collection-delays** — the registry's all-sources BFS
+//!   collection with random start delays
+//!   ([`congest_workloads::make::bfs_collection_gnp`]) under the BCONGEST
+//!   runner: broadcast scans and receive transitions dominate;
 //! * **congest-neighbor-exchange** — a per-neighbor point-to-point exchange
 //!   under [`run_congest`]: the `edge_between` resolution is the hot path.
+//!   This one stays local — it is a runner stress tool, not a paper workload,
+//!   so it has no registry entry.
 //!
 //! Every thread count must produce outputs and [`Metrics`] identical to the
 //! sequential run (`threads = 1`) — the run **panics** otherwise, so a red
@@ -17,7 +21,7 @@
 //! message/round counts are exact and machine-independent.
 
 use congest_engine::{
-    run_bcongest, run_congest, CongestAlgorithm, ExecutorConfig, LocalView, Metrics, RunOptions,
+    run_congest, CongestAlgorithm, ExecutorConfig, LocalView, Metrics, RunOptions,
 };
 use congest_graph::{generators, Graph, NodeId};
 use std::time::Instant;
@@ -187,8 +191,8 @@ fn opts(seed: u64, threads: usize) -> RunOptions {
 
 fn sample<O: PartialEq + std::fmt::Debug>(
     threads: usize,
-    baseline: &mut Option<(Vec<O>, Metrics)>,
-    run: impl FnOnce() -> (Vec<O>, Metrics),
+    baseline: &mut Option<(O, Metrics)>,
+    run: impl FnOnce() -> (O, Metrics),
 ) -> ThreadSample {
     let start = Instant::now();
     let (outputs, metrics) = run();
@@ -215,24 +219,30 @@ fn sample<O: PartialEq + std::fmt::Debug>(
     }
 }
 
-fn bcongest_workload(g: &Graph, cfg: &EngineBenchConfig) -> WorkloadReport {
-    use congest_algos::bfs_collection::BfsCollection;
+fn bcongest_workload(cfg: &EngineBenchConfig) -> WorkloadReport {
+    let w = congest_workloads::make::bfs_collection_gnp(cfg.n, cfg.p, cfg.seed);
+    // Built once; the timed samples measure the run only. The trajectory key
+    // carries a `-delays` suffix because the registry workload staggers wave
+    // starts (Theorem 1.4's random delays) — the pre-registry bench ran the
+    // undelayed collection, so the two keys are not comparable.
+    let input = w.build();
     let mut baseline = None;
     let samples = cfg
         .thread_counts
         .iter()
         .map(|&t| {
             sample(t, &mut baseline, || {
-                let algo = BfsCollection::new(g.nodes().collect());
-                let run = run_bcongest(&algo, g, None, &opts(cfg.seed, t)).expect("bcongest run");
-                (run.outputs, run.metrics)
+                let run = w
+                    .run_built(&input, &ExecutorConfig::with_threads(t))
+                    .expect("bcongest run");
+                (run.output, run.metrics)
             })
         })
         .collect();
     WorkloadReport {
-        name: "bcongest-bfs-collection",
-        n: g.n(),
-        m: g.m(),
+        name: "bcongest-bfs-collection-delays",
+        n: input.graph.n(),
+        m: input.graph.m(),
         samples,
     }
 }
@@ -260,28 +270,50 @@ fn congest_workload(g: &Graph, cfg: &EngineBenchConfig) -> WorkloadReport {
     }
 }
 
-/// Runs both workloads once at a single executor thread count, with no
-/// baseline comparison — the criterion bench's per-iteration body. Returns the
-/// two message totals so callers can `black_box` something real.
-pub fn run_workloads_once(g: &Graph, cfg: &EngineBenchConfig, threads: usize) -> (u64, u64) {
-    use congest_algos::bfs_collection::BfsCollection;
-    let b = run_bcongest(
-        &BfsCollection::new(g.nodes().collect()),
-        g,
-        None,
-        &opts(cfg.seed, threads),
-    )
-    .expect("bcongest run");
-    let c = run_congest(
-        &NeighborExchange {
-            rounds: cfg.exchange_rounds,
-        },
-        g,
-        None,
-        &opts(cfg.seed, threads),
-    )
-    .expect("congest run");
-    (b.metrics.messages, c.metrics.messages)
+/// Both workloads with their inputs built **once** — the criterion bench's
+/// prepared state, so the timed per-iteration body measures the runners only,
+/// never graph generation or workload construction.
+pub struct PreparedWorkloads {
+    w: Box<dyn congest_workloads::Workload>,
+    input: congest_workloads::BuiltInput,
+    g: Graph,
+    exchange_rounds: usize,
+    seed: u64,
+}
+
+impl PreparedWorkloads {
+    /// Builds the BCONGEST registry workload and the exchange graph for `cfg`.
+    pub fn new(cfg: &EngineBenchConfig) -> Self {
+        let w = congest_workloads::make::bfs_collection_gnp(cfg.n, cfg.p, cfg.seed);
+        let input = w.build();
+        Self {
+            w,
+            g: input.graph.clone(),
+            input,
+            exchange_rounds: cfg.exchange_rounds,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Runs both workloads once at a single executor thread count, with no
+    /// baseline comparison — the criterion bench's per-iteration body. Returns
+    /// the two message totals so callers can `black_box` something real.
+    pub fn run_once(&self, threads: usize) -> (u64, u64) {
+        let b = self
+            .w
+            .run_built(&self.input, &ExecutorConfig::with_threads(threads))
+            .expect("bcongest run");
+        let c = run_congest(
+            &NeighborExchange {
+                rounds: self.exchange_rounds,
+            },
+            &self.g,
+            None,
+            &opts(self.seed, threads),
+        )
+        .expect("congest run");
+        (b.metrics.messages, c.metrics.messages)
+    }
 }
 
 /// Runs both workloads at every configured thread count, asserting the
@@ -307,7 +339,7 @@ pub fn run_engine_bench(cfg: &EngineBenchConfig) -> EngineBenchReport {
     EngineBenchReport {
         seed: cfg.seed,
         host_threads: std::thread::available_parallelism().map_or(1, usize::from),
-        workloads: vec![bcongest_workload(&g, cfg), congest_workload(&g, cfg)],
+        workloads: vec![bcongest_workload(cfg), congest_workload(&g, cfg)],
     }
 }
 

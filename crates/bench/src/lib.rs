@@ -11,10 +11,14 @@
 //! (oracle-checked, budget-enforced MST + trade-off sweep), shared by `--bench-mst`
 //! and the `mst` criterion bench. [`shard_bench`] is the delivery-backend
 //! matrix behind `BENCH_shard.json` (sequential vs chunked vs sharded, exact
-//! counts asserted equal), behind `--bench-shard`.
+//! counts asserted equal), behind `--bench-shard`. [`suite_bench`] is the
+//! registry bench behind `BENCH_suite.json`: every `congest_workloads` entry
+//! × every backend, behind `--bench-suite` — workload setup itself lives in
+//! `congest-workloads`, so these modules only own sweeps and report schemas.
 
 pub mod engine_bench;
 pub mod experiments;
 pub mod mst_bench;
 pub mod shard_bench;
+pub mod suite_bench;
 pub mod table;

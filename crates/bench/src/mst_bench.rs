@@ -19,7 +19,6 @@
 use apsp_core::mst_tradeoff::{mst_tradeoff, MstRoute};
 use apsp_core::verify::check_mst;
 use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
-use congest_graph::{generators, WeightedGraph};
 use std::time::Instant;
 
 /// Sizes and sweep points for one [`run_mst_bench`] invocation.
@@ -108,8 +107,12 @@ pub fn run_mst_bench(cfg: &MstBenchConfig) -> MstBenchReport {
         .sizes
         .iter()
         .map(|&n| {
-            let g = generators::gnp_connected(n, cfg.p, cfg.seed.wrapping_add(n as u64));
-            let wg = WeightedGraph::random_unique_weights(&g, cfg.seed.wrapping_add(n as u64));
+            // The graph + unique-weight setup is the registry constructor's —
+            // this module only owns the budget sweep and the k-sweep.
+            let input =
+                congest_workloads::make::mst_gnp(n, cfg.p, cfg.seed.wrapping_add(n as u64)).build();
+            let g = &input.graph;
+            let wg = input.weighted_graph();
             let budget = message_bound(g.n(), g.m());
             let start = Instant::now();
             let run = distributed_mst(

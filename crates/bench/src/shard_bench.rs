@@ -2,33 +2,33 @@
 //! chunked vs 2/4/8-shard wall-clock on APSP and MST workloads, with the
 //! backend-conformance contract checked on every sample.
 //!
-//! Four workloads cover the backend surface:
+//! The workloads are **registry constructors**
+//! ([`congest_workloads::make`]) at bench-specific sizes — the graph/config
+//! setup, the runner, and the oracle all live in `congest-workloads`; this
+//! module only owns the size sweep and the report schema:
 //!
-//! * **apsp-ldc-sim** — weighted APSP through the Theorem 2.1 simulation:
-//!   upcast/downcast transport plus the stepper's phases;
-//! * **mst-gnp** — the GHS phase loop (announce → convergecast → merge) on a
+//! * **weighted-apsp/gnp-n** — weighted APSP through the Theorem 2.1
+//!   simulation: upcast/downcast transport plus the stepper's phases;
+//! * **mst/gnp-n** — the GHS phase loop (announce → convergecast → merge) on a
 //!   random graph: shallow fragment forests, announcement-dominated;
-//! * **mst-deep-path** — the same loop on a long path: fragment forests up to
+//! * **mst/path-n** — the same loop on a long path: fragment forests up to
 //!   thousands of levels deep, where the sharded backend's level-bucketed
 //!   convergecast/broadcast schedule (`O(n + depth)` per phase) replaces the
 //!   sequential depth sort (`O(n log n)` per phase);
-//! * **mst-tradeoff** — the `k = ⌈√n⌉` trade-off point: controlled merging
-//!   plus the leader-collected central finish.
+//! * **mst-tradeoff/gnp-n** — the `k = ⌈√n⌉` trade-off point: controlled
+//!   merging plus the leader-collected central finish.
 //!
-//! Every sample's outputs and [`Metrics`] must equal the sequential baseline —
-//! the run **panics** otherwise, so a red perf-smoke CI job doubles as a
-//! backend-conformance tripwire. Message/round counts are exact and
+//! Every sample's [`congest_workloads::RunOutcome`] must equal the sequential
+//! baseline — the run **panics** otherwise, so a red perf-smoke CI job doubles
+//! as a backend-conformance tripwire. Message/round counts are exact and
 //! machine-independent; `wall_ms` is the minimum of [`ShardBenchConfig::reps`]
 //! runs and is machine-dependent (`host_threads` is recorded: on a single-core
 //! host the chunked/threaded samples measure dispatch overhead, while the
 //! sharded samples still measure the backend's layout and schedule).
 
-use apsp_core::mst_tradeoff::mst_tradeoff_with;
-use apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
-use congest_algos::mst::{distributed_mst, MstConfig};
-use congest_engine::{DeliveryBackend, ExecutorConfig, Metrics};
-use congest_graph::{generators, WeightedGraph};
-use std::time::Instant;
+use crate::suite_bench::timed_sweep;
+use congest_engine::{DeliveryBackend, ExecutorConfig};
+use congest_workloads::{make, Workload};
 
 /// Sizes, shard counts, and repetitions for one [`run_shard_bench`] invocation.
 #[derive(Clone, Debug)]
@@ -94,8 +94,8 @@ pub struct BackendSample {
 /// All samples of one workload.
 #[derive(Clone, Debug)]
 pub struct ShardWorkloadReport {
-    /// Workload name (stable key for trajectory tooling).
-    pub name: &'static str,
+    /// Registry key of the workload (stable key for trajectory tooling).
+    pub name: String,
     /// Nodes of the workload graph.
     pub n: usize,
     /// Edges of the workload graph.
@@ -155,56 +155,34 @@ fn backend_configs(shard_counts: &[usize]) -> Vec<(&'static str, usize, Executor
     cfgs
 }
 
-/// Times `run` under every backend, asserting output/metrics equality against
-/// the sequential baseline on every repetition.
-fn sweep<O, F>(
-    name: &'static str,
-    n: usize,
-    m: usize,
-    reps: usize,
-    shard_counts: &[usize],
-    run: F,
-) -> ShardWorkloadReport
-where
-    O: PartialEq + std::fmt::Debug,
-    F: Fn(&ExecutorConfig) -> (O, Metrics),
-{
-    let mut baseline: Option<(O, Metrics)> = None;
-    let mut samples = Vec::new();
-    for (backend, shards, cfg) in backend_configs(shard_counts) {
-        let mut best = f64::INFINITY;
-        for _ in 0..reps.max(1) {
-            let start = Instant::now();
-            let (out, metrics) = run(&cfg);
-            best = best.min(start.elapsed().as_secs_f64() * 1e3);
-            match &baseline {
-                None => baseline = Some((out, metrics)),
-                Some((base_out, base_metrics)) => {
-                    assert_eq!(
-                        *base_out, out,
-                        "{name}: outputs diverged under {backend}/{shards} — conformance broken"
-                    );
-                    assert_eq!(
-                        *base_metrics, metrics,
-                        "{name}: metrics diverged under {backend}/{shards} — conformance broken"
-                    );
-                }
-            }
-        }
-        samples.push(BackendSample {
+/// Times one registry workload under every backend through the shared
+/// [`timed_sweep`] core (build once, assert [`RunOutcome`] equality against
+/// the sequential baseline on every repetition), then reshapes the wall-clock
+/// vector into this report's `(backend, shards, threads)` samples.
+fn sweep(w: &dyn Workload, reps: usize, shard_counts: &[usize]) -> ShardWorkloadReport {
+    let input = w.build();
+    let triples = backend_configs(shard_counts);
+    let labelled: Vec<(String, ExecutorConfig)> = triples
+        .iter()
+        .map(|(backend, shards, cfg)| (format!("{backend}/{shards}"), cfg.clone()))
+        .collect();
+    let (base, wall) = timed_sweep(w, &input, &labelled, reps);
+    let samples = triples
+        .into_iter()
+        .zip(wall)
+        .map(|((backend, shards, cfg), wall_ms)| BackendSample {
             backend,
             shards,
             threads: cfg.threads,
-            wall_ms: best,
-        });
-    }
-    let (_, metrics) = baseline.expect("at least one backend ran");
+            wall_ms,
+        })
+        .collect();
     ShardWorkloadReport {
-        name,
-        n,
-        m,
-        messages: metrics.messages,
-        rounds: metrics.rounds,
+        name: w.name(),
+        n: input.graph.n(),
+        m: input.graph.m(),
+        messages: base.metrics.messages,
+        rounds: base.metrics.rounds,
         samples,
     }
 }
@@ -213,94 +191,23 @@ where
 ///
 /// # Panics
 ///
-/// Panics if any sample's outputs or metrics differ from the sequential
-/// baseline — that is the point.
+/// Panics if any sample's outcome differs from the sequential baseline — that
+/// is the point.
 pub fn run_shard_bench(cfg: &ShardBenchConfig) -> ShardBenchReport {
-    let seed = cfg.seed;
-
-    let apsp_g = generators::gnp_connected(cfg.apsp_n, 0.18, seed);
-    let apsp_wg = WeightedGraph::random_weights(&apsp_g, 1..=9, seed);
-    let apsp = sweep(
-        "apsp-ldc-sim",
-        apsp_g.n(),
-        apsp_g.m(),
-        cfg.reps,
-        &cfg.shard_counts,
-        |exec| {
-            let run = weighted_apsp(
-                &apsp_wg,
-                &WeightedApspConfig {
-                    seed,
-                    exec: exec.clone(),
-                    ..Default::default()
-                },
-            )
-            .expect("weighted apsp");
-            (run.distances, run.metrics)
-        },
-    );
-
-    let mst_g = generators::gnp_connected(cfg.mst_n, 0.12, seed);
-    let mst_wg = WeightedGraph::random_unique_weights(&mst_g, seed);
-    let mst = sweep(
-        "mst-gnp",
-        mst_g.n(),
-        mst_g.m(),
-        cfg.reps,
-        &cfg.shard_counts,
-        |exec| {
-            let run = distributed_mst(
-                &mst_wg,
-                &MstConfig {
-                    exec: exec.clone(),
-                    ..Default::default()
-                },
-            )
-            .expect("gnp mst");
-            ((run.edges, run.fragment), run.metrics)
-        },
-    );
-
-    let path_g = generators::path(cfg.path_n);
-    let path_wg = WeightedGraph::random_unique_weights(&path_g, seed);
-    let deep = sweep(
-        "mst-deep-path",
-        path_g.n(),
-        path_g.m(),
-        cfg.reps,
-        &cfg.shard_counts,
-        |exec| {
-            let run = distributed_mst(
-                &path_wg,
-                &MstConfig {
-                    exec: exec.clone(),
-                    ..Default::default()
-                },
-            )
-            .expect("deep-path mst");
-            ((run.edges, run.fragment), run.metrics)
-        },
-    );
-
-    let to_g = generators::gnp_connected(cfg.tradeoff_n, 0.15, seed);
-    let to_wg = WeightedGraph::random_unique_weights(&to_g, seed);
     let k = (cfg.tradeoff_n as f64).sqrt().ceil() as usize;
-    let tradeoff = sweep(
-        "mst-tradeoff-sqrt-n",
-        to_g.n(),
-        to_g.m(),
-        cfg.reps,
-        &cfg.shard_counts,
-        |exec| {
-            let run = mst_tradeoff_with(&to_wg, k, seed, exec).expect("tradeoff mst");
-            (run.edges, run.metrics)
-        },
-    );
-
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        make::weighted_apsp_gnp(cfg.apsp_n, 0.18, cfg.seed),
+        make::mst_gnp(cfg.mst_n, 0.12, cfg.seed),
+        make::mst_deep_path(cfg.path_n, cfg.seed),
+        make::mst_tradeoff_gnp(cfg.tradeoff_n, 0.15, k, cfg.seed),
+    ];
     ShardBenchReport {
-        seed,
+        seed: cfg.seed,
         host_threads: std::thread::available_parallelism().map_or(1, usize::from),
-        workloads: vec![apsp, mst, deep, tradeoff],
+        workloads: workloads
+            .iter()
+            .map(|w| sweep(w.as_ref(), cfg.reps, &cfg.shard_counts))
+            .collect(),
     }
 }
 
@@ -367,7 +274,7 @@ mod tests {
             shard_counts: vec![2, 3],
             reps: 1,
         };
-        // `run_shard_bench` asserts output/metrics equality internally.
+        // `run_shard_bench` asserts outcome equality internally.
         let report = run_shard_bench(&cfg);
         assert_eq!(report.workloads.len(), 4);
         for w in &report.workloads {
@@ -378,7 +285,7 @@ mod tests {
         }
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"delivery-backends\""));
-        assert!(json.contains("mst-deep-path"));
+        assert!(json.contains("mst/path-64"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

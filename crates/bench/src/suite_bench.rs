@@ -1,0 +1,248 @@
+//! The registry bench behind `BENCH_suite.json`: every `congest_workloads`
+//! entry timed under every backend of the wall-clock sweep
+//! ([`congest_workloads::configs::bench_matrix`]), with the conformance
+//! contract checked on every sample.
+//!
+//! This is what "register a workload once" buys on the measurement side: a new
+//! registry entry automatically appears here — per-workload × per-backend
+//! wall-clock plus the exact (machine-independent) message/round counts,
+//! asserted **equal across backends** on every repetition. The run **panics**
+//! on any divergence, so a red perf-smoke CI job doubles as a conformance
+//! tripwire in release mode.
+//!
+//! Wall-clock numbers are environment-dependent (`host_threads` is recorded
+//! for that reason: on a single-core host the thread-fanning samples measure
+//! dispatch overhead, while the sharded samples still measure the backend's
+//! layout and schedule); counts are exact.
+
+use congest_engine::ExecutorConfig;
+use congest_workloads::{configs, registry, BuiltInput, RunOutcome, Workload};
+use std::time::Instant;
+
+/// Repetitions and scope for one [`run_suite_bench`] invocation.
+#[derive(Clone, Debug)]
+pub struct SuiteBenchConfig {
+    /// Timed repetitions per (workload, backend) cell; `wall_ms` records the
+    /// minimum, damping scheduler noise.
+    pub reps: usize,
+}
+
+impl SuiteBenchConfig {
+    /// CI-sized configuration (single repetition).
+    pub fn quick() -> Self {
+        Self { reps: 1 }
+    }
+
+    /// The full configuration used for committed `BENCH_suite.json` refreshes.
+    pub fn full() -> Self {
+        Self { reps: 3 }
+    }
+}
+
+/// One timed execution of one workload under one backend configuration.
+#[derive(Clone, Debug)]
+pub struct SuiteSample {
+    /// Backend label from the bench matrix (`"sequential"`, `"chunked/hw"`,
+    /// `"sharded/4"`, …).
+    pub backend: String,
+    /// Minimum wall-clock over the repetitions, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// All samples of one registry entry.
+#[derive(Clone, Debug)]
+pub struct SuiteWorkloadReport {
+    /// Registry key (`algorithm/family` — stable key for trajectory tooling).
+    pub name: String,
+    /// Nodes of the workload graph.
+    pub n: usize,
+    /// Edges of the workload graph.
+    pub m: usize,
+    /// Exact message count — asserted identical across all backends.
+    pub messages: u64,
+    /// Exact round count — asserted identical across all backends.
+    pub rounds: u64,
+    /// Exact broadcast count — asserted identical across all backends.
+    pub broadcasts: u64,
+    /// One sample per backend configuration, sequential first.
+    pub samples: Vec<SuiteSample>,
+}
+
+/// The full registry-bench outcome, serializable to `BENCH_suite.json`.
+#[derive(Clone, Debug)]
+pub struct SuiteBenchReport {
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// Per-workload samples, in registry order.
+    pub workloads: Vec<SuiteWorkloadReport>,
+}
+
+/// The timing/conformance core shared by this module and
+/// [`crate::shard_bench`]: runs `w` on a **prebuilt** `input` (so graph/weight
+/// construction stays out of the timed section) under each labelled config
+/// `reps` times, asserting [`RunOutcome`] equality against the first config's
+/// outcome — callers put the sequential baseline first. Returns the baseline
+/// outcome and the per-config minimum wall-clock, in config order.
+///
+/// # Panics
+///
+/// Panics if any repetition's outcome diverges from the baseline — that is
+/// the point.
+pub fn timed_sweep(
+    w: &dyn Workload,
+    input: &BuiltInput,
+    configs: &[(String, ExecutorConfig)],
+    reps: usize,
+) -> (RunOutcome, Vec<f64>) {
+    let mut baseline: Option<RunOutcome> = None;
+    let mut wall = Vec::with_capacity(configs.len());
+    for (label, cfg) in configs {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let out = w
+                .run_built(input, cfg)
+                .unwrap_or_else(|e| panic!("{}: run under {label} failed: {e}", w.name()));
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            match &baseline {
+                None => baseline = Some(out),
+                Some(base) => {
+                    assert_eq!(
+                        *base,
+                        out,
+                        "{}: outcome diverged under {label} — conformance broken",
+                        w.name()
+                    );
+                }
+            }
+        }
+        wall.push(best);
+    }
+    (baseline.expect("at least one config ran"), wall)
+}
+
+/// Times one workload under every backend of the sweep via [`timed_sweep`].
+///
+/// # Panics
+///
+/// Panics if any sample's outcome diverges from the sequential baseline.
+pub fn sweep_workload(
+    w: &dyn Workload,
+    backends: &[(String, ExecutorConfig)],
+    reps: usize,
+) -> SuiteWorkloadReport {
+    let input = w.build();
+    let (n, m) = (input.graph.n(), input.graph.m());
+    let (base, wall) = timed_sweep(w, &input, backends, reps);
+    let samples = backends
+        .iter()
+        .zip(wall)
+        .map(|((label, _), wall_ms)| SuiteSample {
+            backend: label.clone(),
+            wall_ms,
+        })
+        .collect();
+    SuiteWorkloadReport {
+        name: w.name(),
+        n,
+        m,
+        messages: base.metrics.messages,
+        rounds: base.metrics.rounds,
+        broadcasts: base.metrics.broadcasts,
+        samples,
+    }
+}
+
+/// Runs every registry entry under every backend of
+/// [`configs::bench_matrix`].
+///
+/// # Panics
+///
+/// Panics if any workload's outcome diverges across backends.
+pub fn run_suite_bench(cfg: &SuiteBenchConfig) -> SuiteBenchReport {
+    let backends = configs::bench_matrix();
+    SuiteBenchReport {
+        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        workloads: registry()
+            .iter()
+            .map(|w| sweep_workload(w.as_ref(), &backends, cfg.reps))
+            .collect(),
+    }
+}
+
+impl SuiteBenchReport {
+    /// Serializes to the `BENCH_suite.json` schema (documented in
+    /// `docs/BENCHMARKING.md`). Hand-rolled: the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"workload-suite\",\n");
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str(&format!(
+            "  \"workload_count\": {},\n",
+            self.workloads.len()
+        ));
+        s.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+            s.push_str(&format!("      \"n\": {},\n", w.n));
+            s.push_str(&format!("      \"m\": {},\n", w.m));
+            s.push_str(&format!("      \"messages\": {},\n", w.messages));
+            s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
+            s.push_str(&format!("      \"broadcasts\": {},\n", w.broadcasts));
+            s.push_str("      \"counts_identical_across_backends\": true,\n");
+            s.push_str("      \"samples\": [\n");
+            for (si, smp) in w.samples.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"backend\": \"{}\", \"wall_ms\": {:.3}}}{}\n",
+                    smp.backend,
+                    smp.wall_ms,
+                    if si + 1 < w.samples.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_workloads::find;
+
+    #[test]
+    fn single_workload_sweep_is_conformant_and_serializes() {
+        // One cheap registry entry through the full machinery (the whole
+        // registry runs in the perf-smoke job; tests keep it to one entry).
+        let w = find("gossip/cycle").expect("registered workload");
+        let report = SuiteBenchReport {
+            host_threads: 1,
+            workloads: vec![sweep_workload(
+                w.as_ref(),
+                &congest_workloads::configs::bench_matrix(),
+                1,
+            )],
+        };
+        let w = &report.workloads[0];
+        assert_eq!(w.name, "gossip/cycle");
+        assert_eq!(w.samples.len(), 5);
+        assert_eq!(w.samples[0].backend, "sequential");
+        assert!(w.messages > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"workload-suite\""));
+        assert!(json.contains("gossip/cycle"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

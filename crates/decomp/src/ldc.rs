@@ -64,6 +64,21 @@ pub fn build_ldc(g: &Graph, seed: u64) -> Result<LdcDecomposition, EngineError> 
     build_ldc_with_beta(g, 0.5, seed)
 }
 
+/// [`build_ldc`] with an explicit executor for the distributed MPX run (the
+/// workload registry's LDC entry routes the full delivery-backend matrix
+/// through here). Decomposition and metrics are identical for every backend.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn build_ldc_with(
+    g: &Graph,
+    seed: u64,
+    exec: &congest_engine::ExecutorConfig,
+) -> Result<LdcDecomposition, EngineError> {
+    build_ldc_inner(g, 0.5, seed, exec)
+}
+
 /// [`build_ldc`] with an explicit MPX shift parameter.
 ///
 /// # Errors
@@ -74,7 +89,16 @@ pub fn build_ldc_with_beta(
     beta: f64,
     seed: u64,
 ) -> Result<LdcDecomposition, EngineError> {
-    let run = mpx::run_mpx(g, beta, seed)?;
+    build_ldc_inner(g, beta, seed, &congest_engine::ExecutorConfig::default())
+}
+
+fn build_ldc_inner(
+    g: &Graph,
+    beta: f64,
+    seed: u64,
+    exec: &congest_engine::ExecutorConfig,
+) -> Result<LdcDecomposition, EngineError> {
+    let run = mpx::run_mpx_with(g, beta, seed, exec)?;
     let clustering = run.clustering;
     let mut f_edges: Vec<Vec<FEdge>> = vec![Vec::new(); g.n()];
     for v in g.nodes() {

@@ -363,9 +363,27 @@ pub struct MpxRun {
 ///
 /// Propagates engine errors (round-limit; cannot occur for valid parameters).
 pub fn run_mpx(g: &Graph, beta: f64, seed: u64) -> Result<MpxRun, congest_engine::EngineError> {
+    run_mpx_with(g, beta, seed, &congest_engine::ExecutorConfig::default())
+}
+
+/// [`run_mpx`] with an explicit executor: the underlying BCONGEST run honors
+/// `exec`, and — like every runner in the workspace — produces identical
+/// clusterings and [`congest_engine::Metrics`] under every backend and thread
+/// count.
+///
+/// # Errors
+///
+/// Propagates engine errors (round-limit; cannot occur for valid parameters).
+pub fn run_mpx_with(
+    g: &Graph,
+    beta: f64,
+    seed: u64,
+    exec: &congest_engine::ExecutorConfig,
+) -> Result<MpxRun, congest_engine::EngineError> {
     let algo = MpxAlgorithm::new(beta);
     let opts = congest_engine::RunOptions {
         seed,
+        exec: exec.clone(),
         ..Default::default()
     };
     let run = congest_engine::run_bcongest(&algo, g, None, &opts)?;

@@ -405,11 +405,11 @@ pub struct ConvergecastOutcome<P> {
 /// # Panics
 ///
 /// Panics if `values.len() != g.n()` (one value per node).
-pub fn convergecast<P: Wire>(
+pub fn convergecast<P: Wire + Send>(
     g: &Graph,
     forest: &Forest,
     values: Vec<P>,
-    combine: impl Fn(P, P) -> P,
+    combine: impl Fn(P, P) -> P + Sync,
     budget: Option<u64>,
 ) -> Result<ConvergecastOutcome<P>, EngineError> {
     convergecast_with(
@@ -428,8 +428,14 @@ pub fn convergecast<P: Wire>(
 /// one batch queue per destination shard per level, drained in shard order —
 /// which is both the delivery structure of [`DeliveryBackend::Sharded`] and
 /// cheaper on deep forests (`O(n + depth)` bookkeeping instead of
-/// `O(n log n)` per call). Children of one parent always fold in ascending
-/// node order, so outcomes and metrics are byte-identical across backends.
+/// `O(n log n)` per call). With more than one effective worker thread, levels
+/// with enough queued senders (see `FAN_OUT_MIN_QUEUED`) drain their
+/// destination-shard queues **concurrently** on the executor's pool: every
+/// queue only touches parents inside its own shard's contiguous node range,
+/// so the folds are disjoint, and per-shard message charges are batched and
+/// merged in shard order. Children of one parent always fold in ascending
+/// node order, so outcomes and metrics are byte-identical across backends
+/// and thread counts.
 ///
 /// # Errors
 ///
@@ -438,11 +444,11 @@ pub fn convergecast<P: Wire>(
 /// # Panics
 ///
 /// Panics if `values.len() != g.n()` (one value per node).
-pub fn convergecast_with<P: Wire>(
+pub fn convergecast_with<P: Wire + Send>(
     g: &Graph,
     forest: &Forest,
     values: Vec<P>,
-    combine: impl Fn(P, P) -> P,
+    combine: impl Fn(P, P) -> P + Sync,
     budget: Option<u64>,
     cfg: &ExecutorConfig,
 ) -> Result<ConvergecastOutcome<P>, EngineError> {
@@ -465,6 +471,7 @@ pub fn convergecast_with<P: Wire>(
             // children in ascending node order — the sequential fold order.
             let plan = ShardPlan::new(g.n(), shards);
             let levels = level_buckets(g, forest);
+            let threads = cfg.effective_threads();
             let mut queues: Vec<Vec<(NodeId, EdgeId, P)>> = vec![Vec::new(); plan.shards()];
             for level in (1..levels.len()).rev() {
                 for &v in &levels[level] {
@@ -474,11 +481,23 @@ pub fn convergecast_with<P: Wire>(
                         queues[plan.shard_of(p)].push((p, e, sent));
                     }
                 }
-                for q in &mut queues {
-                    for (p, e, sent) in q.drain(..) {
-                        metrics.add_messages(e, sent.words() as u64);
-                        let own = acc[p.index()].take().expect("parent not yet sent");
-                        acc[p.index()] = Some(combine(own, sent));
+                let queued: usize = queues.iter().map(Vec::len).sum();
+                if threads > 1 && plan.shards() > 1 && queued >= FAN_OUT_MIN_QUEUED {
+                    drain_level_parallel(
+                        &plan,
+                        threads,
+                        &mut queues,
+                        &mut acc,
+                        &combine,
+                        &mut metrics,
+                    );
+                } else {
+                    for q in &mut queues {
+                        for (p, e, sent) in q.drain(..) {
+                            metrics.add_messages(e, sent.words() as u64);
+                            let own = acc[p.index()].take().expect("parent not yet sent");
+                            acc[p.index()] = Some(combine(own, sent));
+                        }
                     }
                 }
             }
@@ -507,6 +526,62 @@ pub fn convergecast_with<P: Wire>(
         .map(|r| acc[r.index()].take().expect("roots never send"))
         .collect();
     Ok(ConvergecastOutcome { at_root, metrics })
+}
+
+/// Minimum queued entries in one level before [`drain_level_parallel`] fans
+/// out. A pool scope + per-shard spawn costs microseconds; folding one entry
+/// costs nanoseconds — on deep forests with near-empty levels (the
+/// `mst/path-*` workloads: thousands of 1-node levels) fan-out would be pure
+/// dispatch overhead, so those levels stay on the caller-thread drain. Wide
+/// shallow forests (the fan-out's target) put hundreds of senders in one
+/// level and clear the threshold immediately.
+const FAN_OUT_MIN_QUEUED: usize = 128;
+
+/// Drains one level's destination-shard queues concurrently on the executor
+/// pool (the thread fan-out of the sharded convergecast schedule): shard `d`'s
+/// queue only folds into parents inside `plan.range(d)`, so splitting `acc` at
+/// the shard boundaries gives every task a disjoint mutable window. Message
+/// charges are collected per shard and merged in fixed shard order afterwards —
+/// in-shard charge order equals the inline drain's order and `u64` addition
+/// commutes across shards, so `metrics` (totals *and* the per-edge congestion
+/// vector) is byte-identical to the single-threaded drain.
+fn drain_level_parallel<P: Wire + Send>(
+    plan: &ShardPlan,
+    threads: usize,
+    queues: &mut [Vec<(NodeId, EdgeId, P)>],
+    acc: &mut [Option<P>],
+    combine: &(impl Fn(P, P) -> P + Sync),
+    metrics: &mut Metrics,
+) {
+    let mut charges: Vec<Option<Vec<(EdgeId, u64)>>> = (0..plan.shards()).map(|_| None).collect();
+    crate::exec::pool_for(threads).scope(|s| {
+        let mut rest_acc = acc;
+        let mut rest_q = &mut *queues;
+        let mut rest_c = charges.as_mut_slice();
+        for d in 0..plan.shards() {
+            let range = plan.range(d);
+            let (mine, acc_tail) = rest_acc.split_at_mut(range.len());
+            rest_acc = acc_tail;
+            let (q, q_tail) = rest_q.split_first_mut().expect("one queue per shard");
+            rest_q = q_tail;
+            let (slot, c_tail) = rest_c.split_first_mut().expect("one charge slot per shard");
+            rest_c = c_tail;
+            let start = range.start;
+            s.spawn(move |_| {
+                let mut charged = Vec::with_capacity(q.len());
+                for (p, e, sent) in q.drain(..) {
+                    charged.push((e, sent.words() as u64));
+                    let cell = &mut mine[p.index() - start];
+                    let own = cell.take().expect("parent not yet sent");
+                    *cell = Some(combine(own, sent));
+                }
+                *slot = Some(charged);
+            });
+        }
+    });
+    for charged in charges {
+        metrics.add_messages_batch(charged.expect("every shard drains"));
+    }
 }
 
 /// Nodes bucketed by forest depth, ascending node order within each bucket
@@ -793,6 +868,70 @@ mod tests {
                 budget: 3
             }
         ));
+    }
+
+    #[test]
+    fn sharded_convergecast_parallel_drain_matches_inline() {
+        // Four wide trees, one rooted in each quarter of the node range, so a
+        // 4-shard plan puts every root in a different shard: level 1 queues
+        // 4 × 108 = 432 entries ≥ FAN_OUT_MIN_QUEUED across four *non-empty*
+        // destination-shard queues (the concurrent split_at_mut windows all
+        // work at once), and the one-node tails under each hub add a second,
+        // sub-threshold level that takes the inline path — both drains and
+        // the level scheduling are exercised in one run.
+        let n = 440;
+        let hub = |i: usize| (i / 110) * 110;
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        for (i, slot) in parent.iter_mut().enumerate() {
+            match i % 110 {
+                0 => {}
+                109 => {
+                    edges.push((i - 1, i));
+                    *slot = Some(NodeId::new(i - 1));
+                }
+                _ => {
+                    edges.push((hub(i), i));
+                    *slot = Some(NodeId::new(hub(i)));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges);
+        let f = Forest::from_parents(&g, parent).expect("valid parent pointers");
+        assert_eq!(f.roots().len(), 4);
+        assert_eq!(f.depth(), 2);
+        let values: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64]).collect();
+        let combine = |mut a: Vec<u64>, b: Vec<u64>| {
+            a.extend(b);
+            a
+        };
+        let base = convergecast_with(
+            &g,
+            &f,
+            values.clone(),
+            combine,
+            None,
+            &ExecutorConfig::sequential(),
+        )
+        .expect("sequential convergecast");
+        for shards in [2usize, 4, 8] {
+            for threads in [1usize, 2, 4] {
+                let cfg = ExecutorConfig {
+                    threads,
+                    backend: DeliveryBackend::Sharded { shards },
+                };
+                let out = convergecast_with(&g, &f, values.clone(), combine, None, &cfg)
+                    .expect("sharded convergecast");
+                assert_eq!(
+                    base.at_root, out.at_root,
+                    "{shards} shards / {threads} threads"
+                );
+                assert_eq!(
+                    base.metrics, out.metrics,
+                    "{shards} shards / {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! The registry catalogue: every algorithm in the workspace, wrapped as
+//! [`Workload`] entries over the shared graph families.
+//!
+//! Families and seeds are fixed here, once — the conformance suites, the
+//! determinism pins, the invariant tests and the registry bench all consume
+//! these exact entries, so "the workload list" has a single definition.
+
+use crate::adapter::{BuildFn, FnWorkload};
+use crate::{BuiltInput, MetricsEnvelope, Workload};
+use congest_algos::gossip::{expected_gossip, GossipOnce};
+use congest_algos::leader::LeaderElect;
+use congest_algos::matching_bipartite::BipartiteMatching;
+use congest_algos::matching_maximal::{matching_pairs, IsraeliItai};
+use congest_algos::mis::{is_valid_mis, LubyMis};
+use congest_decomp::ldc::{build_ldc_with, validate_ldc};
+use congest_engine::{run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, RunOptions};
+use congest_graph::{generators, reference, Graph, NodeId, WeightedGraph};
+
+/// The named graph families the per-family entries are instantiated over:
+/// random + pathological shapes — G(n,p) sparse and dense, a path (deep
+/// idle-skipping), a star (maximally skewed degrees, wildly unequal
+/// chunk/shard loads), a cycle, and a clustered caveman graph.
+pub const FAMILIES: [&str; 6] = ["gnp", "dense-gnp", "path", "star", "cycle", "caveman"];
+
+/// Builds the named family's graph (deterministic; see [`FAMILIES`]).
+///
+/// # Panics
+///
+/// Panics on an unknown family name.
+pub fn family_graph(family: &str) -> Graph {
+    match family {
+        "gnp" => generators::gnp_connected(60, 0.12, 11),
+        "dense-gnp" => generators::gnp_connected(40, 0.5, 12),
+        "path" => generators::path(48),
+        "star" => generators::star(49),
+        "cycle" => generators::cycle(40),
+        "caveman" => generators::caveman(6, 8),
+        other => panic!("unknown graph family {other:?}"),
+    }
+}
+
+/// All `(family, graph)` pairs of [`FAMILIES`].
+pub fn graph_families() -> Vec<(&'static str, Graph)> {
+    FAMILIES.iter().map(|&f| (f, family_graph(f))).collect()
+}
+
+/// The typed value of a BCONGEST run: outputs plus the word counts the
+/// conformance contract pins alongside them.
+#[derive(Debug)]
+struct BcongestValue<O> {
+    outputs: Vec<O>,
+    // The word counts are read through the derived `Debug` rendering (they
+    // are part of the conformance-compared `RunOutcome::output` string), which
+    // the dead-code lint does not see.
+    #[allow(dead_code)]
+    input_words: usize,
+    #[allow(dead_code)]
+    output_words: usize,
+}
+
+/// Wraps a [`BcongestAlgorithm`] as a workload entry.
+pub(crate) fn bcongest_entry<A>(
+    algorithm: &'static str,
+    family: String,
+    seed: u64,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    make: impl Fn(&BuiltInput) -> A + Send + Sync + 'static,
+    oracle: impl Fn(&BuiltInput, &[A::Output]) -> Result<(), String> + Send + Sync + 'static,
+    envelope: impl Fn(&BuiltInput) -> MetricsEnvelope + Send + Sync + 'static,
+) -> Box<dyn Workload>
+where
+    A: BcongestAlgorithm + Send + Sync + 'static,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: 'static,
+{
+    Box::new(FnWorkload {
+        algorithm,
+        family,
+        seed,
+        build: Box::new(build) as BuildFn,
+        exec: Box::new(move |input, cfg| {
+            let algo = make(input);
+            let run = run_bcongest(
+                &algo,
+                &input.graph,
+                input.weights.as_deref(),
+                &RunOptions {
+                    seed,
+                    exec: cfg.clone(),
+                    ..Default::default()
+                },
+            )?;
+            Ok((
+                BcongestValue {
+                    outputs: run.outputs,
+                    input_words: run.input_words,
+                    output_words: run.output_words,
+                },
+                run.metrics,
+            ))
+        }),
+        oracle: Box::new(move |input, value| oracle(input, &value.outputs)),
+        envelope: Box::new(envelope),
+    })
+}
+
+/// Wraps a [`CongestAlgorithm`] as a workload entry.
+pub(crate) fn congest_entry<A>(
+    algorithm: &'static str,
+    family: String,
+    seed: u64,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    make: impl Fn(&BuiltInput) -> A + Send + Sync + 'static,
+    oracle: impl Fn(&BuiltInput, &[A::Output]) -> Result<(), String> + Send + Sync + 'static,
+    envelope: impl Fn(&BuiltInput) -> MetricsEnvelope + Send + Sync + 'static,
+) -> Box<dyn Workload>
+where
+    A: CongestAlgorithm + Send + Sync + 'static,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: 'static,
+{
+    Box::new(FnWorkload {
+        algorithm,
+        family,
+        seed,
+        build: Box::new(build) as BuildFn,
+        exec: Box::new(move |input, cfg| {
+            let algo = make(input);
+            let run = run_congest(
+                &algo,
+                &input.graph,
+                input.weights.as_deref(),
+                &RunOptions {
+                    seed,
+                    exec: cfg.clone(),
+                    ..Default::default()
+                },
+            )?;
+            Ok((run.outputs, run.metrics))
+        }),
+        oracle: Box::new(move |input, outputs| oracle(input, outputs)),
+        envelope: Box::new(envelope),
+    })
+}
+
+/// Wraps a composite entry point (APSP, MST, trade-off, LDC — anything that is
+/// not a single engine run) as a workload entry.
+pub(crate) fn composite_entry<T: std::fmt::Debug + 'static>(
+    algorithm: &'static str,
+    family: String,
+    seed: u64,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    exec: impl Fn(
+            &BuiltInput,
+            &congest_engine::ExecutorConfig,
+        ) -> Result<(T, congest_engine::Metrics), congest_engine::EngineError>
+        + Send
+        + Sync
+        + 'static,
+    oracle: impl Fn(&BuiltInput, &T) -> Result<(), String> + Send + Sync + 'static,
+    envelope: impl Fn(&BuiltInput) -> MetricsEnvelope + Send + Sync + 'static,
+) -> Box<dyn Workload> {
+    Box::new(FnWorkload {
+        algorithm,
+        family,
+        seed,
+        build: Box::new(build) as BuildFn,
+        exec: Box::new(exec),
+        oracle: Box::new(oracle),
+        envelope: Box::new(envelope),
+    })
+}
+
+/// Validates a BFS answer (per-node distance + parent pointer) against the
+/// sequential reference from `src`.
+pub(crate) fn check_bfs_shape(
+    g: &Graph,
+    src: NodeId,
+    dist_of: impl Fn(usize) -> Option<u32>,
+    parent_of: impl Fn(usize) -> Option<NodeId>,
+) -> Result<(), String> {
+    let want = reference::bfs_distances(g, src);
+    for (v, &want_v) in want.iter().enumerate() {
+        let dist = dist_of(v);
+        if dist != want_v {
+            return Err(format!("dist({v}) = {dist:?}, want {want_v:?}"));
+        }
+        match parent_of(v) {
+            None => {
+                if dist.is_some() && v != src.index() {
+                    return Err(format!("reached node {v} has no parent"));
+                }
+            }
+            Some(p) => {
+                if !g.neighbors(NodeId::new(v)).contains(&p) {
+                    return Err(format!("parent of {v} is not a neighbor"));
+                }
+                if dist_of(p.index()).map(|d| d + 1) != dist {
+                    return Err(format!("parent of {v} is not one hop closer"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The workload registry: one entry per `(algorithm, family)` pair, unique
+/// names, every entry oracle-checked and envelope-bounded. See the crate docs
+/// for what registration buys.
+pub fn registry() -> Vec<Box<dyn Workload>> {
+    let mut entries: Vec<Box<dyn Workload>> = Vec::new();
+
+    // BFS from node 0 — the paper's simplest broadcast payload. Every node
+    // broadcasts at most once: messages ≤ Σ deg = 2m, rounds ≤ n + guard.
+    for &family in &FAMILIES {
+        entries.push(crate::make::bfs(
+            family.to_string(),
+            move || BuiltInput::unweighted(family_graph(family)),
+            5,
+        ));
+    }
+
+    // Leader election (min-ID flood with BFS-parent tracking). A node
+    // re-broadcasts only when its candidate improves (≤ n times): messages
+    // ≤ 2mn, rounds ≤ 2n + 4 (the algorithm's own bound).
+    for &family in &FAMILIES {
+        entries.push(bcongest_entry(
+            "leader-election",
+            family.to_string(),
+            7,
+            move || BuiltInput::unweighted(family_graph(family)),
+            |_| LeaderElect,
+            |input, outputs| {
+                let g = &input.graph;
+                let want = reference::bfs_distances(g, NodeId::new(0));
+                for (v, out) in outputs.iter().enumerate() {
+                    if out.leader != NodeId::new(0) {
+                        return Err(format!("node {v} elected {:?}, want node 0", out.leader));
+                    }
+                    if Some(out.dist) != want[v] {
+                        return Err(format!("dist({v}) = {}, want {:?}", out.dist, want[v]));
+                    }
+                }
+                check_bfs_shape(
+                    g,
+                    NodeId::new(0),
+                    |v| Some(outputs[v].dist),
+                    |v| outputs[v].parent,
+                )
+            },
+            |input| {
+                let (n, m) = (input.graph.n() as u64, input.graph.m() as u64);
+                MetricsEnvelope::bounds(2 * m * n, 2 * n + 4)
+            },
+        ));
+    }
+
+    // One-shot gossip — the point-to-point delivery-order probe, with its
+    // closed-form local oracle. Exactly one message per edge direction.
+    for &family in &FAMILIES {
+        entries.push(congest_entry(
+            "gossip",
+            family.to_string(),
+            9,
+            move || BuiltInput::unweighted(family_graph(family)),
+            |_| GossipOnce,
+            |input, outputs| {
+                let want = expected_gossip(&input.graph);
+                (outputs == &want[..])
+                    .then_some(())
+                    .ok_or_else(|| "checksums diverge from the local oracle".to_string())
+            },
+            |input| MetricsEnvelope::bounds(2 * input.graph.m() as u64, 2),
+        ));
+    }
+
+    // The Theorem 1.4 workload: all-sources BFS collection under random
+    // per-instance delays — per-node randomness plus staggered wave starts,
+    // the hardest BCONGEST payload to keep bitwise stable under resharding.
+    for &family in &FAMILIES {
+        entries.push(crate::make::bfs_collection(
+            family.to_string(),
+            move || BuiltInput::unweighted(family_graph(family)),
+            13,
+        ));
+    }
+
+    // Message-optimal GHS MST over every family (tie-heavy weights exercise
+    // the (weight, EdgeId) total order), under the closed-form Õ(m) envelope.
+    for &family in &FAMILIES {
+        entries.push(crate::make::mst(
+            family.to_string(),
+            move || {
+                let g = family_graph(family);
+                BuiltInput::weighted(WeightedGraph::random_weights(&g, 1..=9, 17))
+            },
+            17,
+        ));
+    }
+
+    // Luby's MIS — the paper's introductory broadcast-based example — on the
+    // shapes with the most skewed priority neighborhoods.
+    for family in ["gnp", "star", "caveman"] {
+        entries.push(bcongest_entry(
+            "luby-mis",
+            family.to_string(),
+            41,
+            move || BuiltInput::unweighted(family_graph(family)),
+            |_| LubyMis,
+            |input, outputs| {
+                is_valid_mis(&input.graph, outputs)
+                    .then_some(())
+                    .ok_or_else(|| "not a maximal independent set".to_string())
+            },
+            |_| MetricsEnvelope::unbounded(),
+        ));
+    }
+
+    // Israeli–Itai randomized maximal matching (the AKO preprocessing step).
+    for family in ["gnp", "cycle"] {
+        entries.push(bcongest_entry(
+            "maximal-matching",
+            family.to_string(),
+            43,
+            move || BuiltInput::unweighted(family_graph(family)),
+            |_| IsraeliItai,
+            |input, outputs| {
+                // `matching_pairs` asserts partner mutuality internally.
+                let pairs = matching_pairs(outputs);
+                reference::is_maximal_matching(&input.graph, &pairs)
+                    .then_some(())
+                    .ok_or_else(|| "not a maximal matching".to_string())
+            },
+            |_| MetricsEnvelope::unbounded(),
+        ));
+    }
+
+    // Ahmadi–Kuhn–Oshman exact bipartite maximum matching (Corollary 2.8's
+    // payload), differentially sized against Hopcroft–Karp.
+    entries.push(bcongest_entry(
+        "bipartite-matching",
+        "random-bipartite".to_string(),
+        11,
+        || BuiltInput::unweighted(generators::random_bipartite_connected(8, 9, 0.35, 51)),
+        |_| BipartiteMatching,
+        |input, outputs| {
+            let g = &input.graph;
+            let pairs = matching_pairs(outputs);
+            if !reference::is_matching(g, &pairs) {
+                return Err("not a matching".to_string());
+            }
+            let want = reference::hopcroft_karp(g).ok_or("input graph is not bipartite")?;
+            (pairs.len() == want)
+                .then_some(())
+                .ok_or_else(|| format!("matching size {} is not maximum ({want})", pairs.len()))
+        },
+        |_| MetricsEnvelope::unbounded(),
+    ));
+
+    // Message-optimal weighted APSP through the Theorem 2.1 simulation:
+    // leader election, LDC build, upcasts/downcasts and the stepper all flow
+    // through the configured executor.
+    entries.push(crate::make::weighted_apsp(
+        "gnp".to_string(),
+        || {
+            let g = generators::gnp_connected(26, 0.18, 21);
+            BuiltInput::weighted(WeightedGraph::random_weights(&g, 1..=9, 21))
+        },
+        3,
+    ));
+
+    // Both routes of the k-parameterized MST trade-off: controlled merging +
+    // leader-collected central finish (k < n) and pure GHS (k = n).
+    let tradeoff_build = || {
+        let g = generators::gnp_connected(40, 0.15, 23);
+        BuiltInput::weighted(WeightedGraph::random_unique_weights(&g, 23))
+    };
+    entries.push(crate::make::mst_tradeoff(
+        "central-k4".to_string(),
+        tradeoff_build,
+        4,
+        3,
+    ));
+    entries.push(crate::make::mst_tradeoff(
+        "ghs-kn".to_string(),
+        tradeoff_build,
+        usize::MAX,
+        3,
+    ));
+
+    // The LDC decomposition of Definition 2.3/Lemma 2.4 (from congest-decomp):
+    // a distributed MPX clustering plus the sparse inter-cluster edge set F,
+    // validated against the definition's (r, d) bounds.
+    entries.push(composite_entry(
+        "ldc-decomposition",
+        "gnp".to_string(),
+        61,
+        || BuiltInput::unweighted(generators::gnp_connected(48, 0.1, 61)),
+        |input, cfg| {
+            let ldc = build_ldc_with(&input.graph, 61, cfg)?;
+            let metrics = ldc.metrics.clone();
+            Ok((ldc, metrics))
+        },
+        |input, ldc| {
+            // Validates the decomposition under test (the one `exec`
+            // produced), not a fresh rebuild.
+            let g = &input.graph;
+            let lnn = (g.n().max(2) as f64).ln();
+            validate_ldc(g, ldc, (8.0 * lnn) as u32, (10.0 * lnn) as usize)
+        },
+        |_| MetricsEnvelope::unbounded(),
+    ));
+
+    entries
+}

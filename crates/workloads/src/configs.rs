@@ -1,0 +1,88 @@
+//! The executor-configuration matrices the suites sweep. Previously these
+//! lived in `tests/common/mod.rs`; they are part of the registry crate so the
+//! root test suites, the benches, and downstream consumers sweep the *same*
+//! configurations and cannot drift apart.
+
+use congest_engine::{DeliveryBackend, ExecutorConfig};
+
+/// The thread-count matrix of `tests/parallel_determinism.rs`: the chunked
+/// backend at 2/4/8 workers, pinned against the sequential baseline.
+pub fn thread_matrix() -> Vec<(String, ExecutorConfig)> {
+    [2, 4, 8]
+        .into_iter()
+        .map(|t| {
+            (
+                format!("chunked/{t}-threads"),
+                ExecutorConfig::with_threads(t),
+            )
+        })
+        .collect()
+}
+
+/// The delivery-backend matrix of `tests/backend_conformance.rs`: every
+/// chunked thread count and every sharded shard count (with matching worker
+/// counts), plus a single-threaded sharded layout — all pinned against the
+/// sequential baseline.
+pub fn backend_matrix() -> Vec<(String, ExecutorConfig)> {
+    let mut cfgs = vec![(
+        "sequential/explicit".to_string(),
+        ExecutorConfig::sequential(),
+    )];
+    for t in [1usize, 2, 4, 8] {
+        cfgs.push((format!("chunked/{t}"), ExecutorConfig::with_threads(t)));
+    }
+    for s in [1usize, 2, 4, 8] {
+        cfgs.push((format!("sharded/{s}"), ExecutorConfig::sharded(s)));
+        cfgs.push((
+            format!("sharded/{s}-1thread"),
+            ExecutorConfig {
+                threads: 1,
+                backend: DeliveryBackend::Sharded { shards: s },
+            },
+        ));
+    }
+    cfgs
+}
+
+/// The wall-clock sweep of the registry bench (`BENCH_suite.json`): the
+/// sequential baseline, the chunked backend at hardware threads, and the
+/// sharded backend at 2/4/8 shards (one worker per shard). Narrower than
+/// [`backend_matrix`] — the bench measures layout/fan-out, the tests prove
+/// conformance.
+pub fn bench_matrix() -> Vec<(String, ExecutorConfig)> {
+    let mut cfgs = vec![
+        ("sequential".to_string(), ExecutorConfig::sequential()),
+        ("chunked/hw".to_string(), ExecutorConfig::with_threads(0)),
+    ];
+    for s in [2usize, 4, 8] {
+        cfgs.push((format!("sharded/{s}"), ExecutorConfig::sharded(s)));
+    }
+    cfgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrices_are_labelled_uniquely() {
+        for matrix in [thread_matrix(), backend_matrix(), bench_matrix()] {
+            let mut labels: Vec<&str> = matrix.iter().map(|(l, _)| l.as_str()).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), matrix.len());
+        }
+    }
+
+    #[test]
+    fn backend_matrix_covers_all_backends() {
+        let m = backend_matrix();
+        assert!(m
+            .iter()
+            .any(|(_, c)| c.backend == DeliveryBackend::Sequential));
+        assert!(m.iter().any(|(_, c)| c.backend == DeliveryBackend::Chunked));
+        assert!(m
+            .iter()
+            .any(|(_, c)| matches!(c.backend, DeliveryBackend::Sharded { .. })));
+    }
+}

@@ -1,0 +1,232 @@
+//! # congest-workloads
+//!
+//! The workspace's **workload registry**: every distributed algorithm, wrapped
+//! once as a named [`Workload`] with a deterministic input builder, an
+//! executor-parameterized runner, a differential oracle, and a declared cost
+//! envelope. Registering a workload here automatically buys it:
+//!
+//! * the **backend-conformance matrix** (`tests/backend_conformance.rs` runs
+//!   every registry entry under every [`DeliveryBackend`] and asserts
+//!   byte-identical [`RunOutcome`]s);
+//! * the **thread-determinism pins** (`tests/parallel_determinism.rs`, same
+//!   contract across worker counts);
+//! * the **oracle/invariant suite** (`tests/workload_registry.rs` checks
+//!   unique names, deterministic builds, oracle validity, and envelope
+//!   compliance);
+//! * the **registry bench** (`congest_bench::suite_bench` times every entry
+//!   under every backend into `BENCH_suite.json` with exact counts).
+//!
+//! The paper frames APSP, MST, matchings and "beyond" as one family with
+//! shared primitives; the registry mirrors that framing in code. Adding an
+//! algorithm to the family is one [`registry`] entry (~50 lines including the
+//! oracle), not a four-file wiring job.
+//!
+//! ## Anatomy of an entry
+//!
+//! ```
+//! use congest_workloads::{registry, find};
+//! use congest_engine::ExecutorConfig;
+//!
+//! let w = find("gossip/path").expect("registered workload");
+//! let seq = w.run(&ExecutorConfig::sequential()).unwrap();
+//! let sharded = w.run(&ExecutorConfig::sharded(4)).unwrap();
+//! assert_eq!(seq, sharded);            // the conformance contract
+//! w.oracle().unwrap();                 // the differential check
+//! assert!(registry().len() >= 10);
+//! ```
+//!
+//! [`DeliveryBackend`]: congest_engine::DeliveryBackend
+
+mod adapter;
+mod catalogue;
+pub mod configs;
+pub mod make;
+
+pub use catalogue::{family_graph, graph_families, registry, FAMILIES};
+
+use congest_engine::{EngineError, ExecutorConfig, Metrics};
+use congest_graph::{Graph, WeightedGraph};
+
+/// The deterministically (re)built input of one workload: the graph, plus
+/// per-edge weights for the weighted problems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuiltInput {
+    /// The topology.
+    pub graph: Graph,
+    /// Per-edge weights (indexed by `EdgeId`), if the workload is weighted.
+    pub weights: Option<Vec<u64>>,
+}
+
+impl BuiltInput {
+    /// An unweighted input.
+    pub fn unweighted(graph: Graph) -> Self {
+        Self {
+            graph,
+            weights: None,
+        }
+    }
+
+    /// A weighted input.
+    pub fn weighted(wg: WeightedGraph) -> Self {
+        let weights = wg.weights().to_vec();
+        Self {
+            graph: wg.graph().clone(),
+            weights: Some(weights),
+        }
+    }
+
+    /// The weighted view of this input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input has no weights (callers pair this with weighted
+    /// builders only).
+    pub fn weighted_graph(&self) -> WeightedGraph {
+        let weights = self
+            .weights
+            .clone()
+            .expect("workload input carries weights");
+        WeightedGraph::from_weights(self.graph.clone(), weights)
+            .expect("one weight per edge by construction")
+    }
+}
+
+/// The erased outcome of one workload execution: a canonical rendering of the
+/// per-node outputs plus the exact realized [`Metrics`]. Two outcomes compare
+/// equal iff outputs **and** every cost measure (rounds, messages, broadcasts,
+/// the full per-edge congestion vector) agree — the unit of the conformance
+/// contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// Deterministic `Debug`-derived rendering of the workload's outputs.
+    pub output: String,
+    /// Exact realized cost.
+    pub metrics: Metrics,
+}
+
+/// Declared cost bounds for a workload, where the paper (or a closed-form
+/// argument) gives one. `None` means "no bound claimed", not "unbounded cost".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsEnvelope {
+    /// Hard upper bound on total messages.
+    pub max_messages: Option<u64>,
+    /// Hard upper bound on rounds.
+    pub max_rounds: Option<u64>,
+}
+
+impl MetricsEnvelope {
+    /// No declared bounds.
+    pub const fn unbounded() -> Self {
+        Self {
+            max_messages: None,
+            max_rounds: None,
+        }
+    }
+
+    /// A message bound only.
+    pub const fn messages(max: u64) -> Self {
+        Self {
+            max_messages: Some(max),
+            max_rounds: None,
+        }
+    }
+
+    /// Message and round bounds.
+    pub const fn bounds(max_messages: u64, max_rounds: u64) -> Self {
+        Self {
+            max_messages: Some(max_messages),
+            max_rounds: Some(max_rounds),
+        }
+    }
+
+    /// Checks `metrics` against the declared bounds.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated bound.
+    pub fn check(&self, metrics: &Metrics) -> Result<(), String> {
+        if let Some(b) = self.max_messages {
+            if metrics.messages > b {
+                return Err(format!("messages {} exceed envelope {b}", metrics.messages));
+            }
+        }
+        if let Some(b) = self.max_rounds {
+            if metrics.rounds > b {
+                return Err(format!("rounds {} exceed envelope {b}", metrics.rounds));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One registered workload: a named `(algorithm, graph family, seed)` triple
+/// with a deterministic builder, an executor-parameterized runner, a
+/// differential oracle, and a declared [`MetricsEnvelope`].
+///
+/// Implementations must guarantee:
+///
+/// * [`build`](Workload::build) is a pure function of the entry (two calls
+///   return equal [`BuiltInput`]s);
+/// * [`run`](Workload::run) is deterministic **per configuration** and
+///   byte-identical **across configurations** — every
+///   [`ExecutorConfig`] yields the same [`RunOutcome`];
+/// * [`oracle`](Workload::oracle) validates a sequential run against an
+///   engine-independent reference (sequential oracle or closed-form check).
+pub trait Workload: Send + Sync {
+    /// The algorithm component of the name (shared by sibling entries).
+    fn algorithm(&self) -> &'static str;
+
+    /// The graph-family component of the name.
+    fn family(&self) -> &str;
+
+    /// Unique registry key: `algorithm/family`.
+    fn name(&self) -> String {
+        format!("{}/{}", self.algorithm(), self.family())
+    }
+
+    /// The master seed `run` executes with.
+    fn seed(&self) -> u64;
+
+    /// Deterministically (re)builds the workload input.
+    fn build(&self) -> BuiltInput;
+
+    /// Runs the workload under `cfg`, building the input first. Equivalent to
+    /// `self.run_built(&self.build(), cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (round guards, budget overdrafts).
+    fn run(&self, cfg: &ExecutorConfig) -> Result<RunOutcome, EngineError> {
+        self.run_built(&self.build(), cfg)
+    }
+
+    /// Runs the workload under `cfg` on an already-built input (callers must
+    /// pass this entry's own [`build`](Workload::build) output). The benches
+    /// time this form, so graph/weight construction stays outside the timed
+    /// section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (round guards, budget overdrafts).
+    fn run_built(
+        &self,
+        input: &BuiltInput,
+        cfg: &ExecutorConfig,
+    ) -> Result<RunOutcome, EngineError>;
+
+    /// Runs sequentially and validates the result against the workload's
+    /// reference oracle.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first oracle violation (or a failed run).
+    fn oracle(&self) -> Result<(), String>;
+
+    /// The declared cost bounds for this entry's input.
+    fn envelope(&self) -> MetricsEnvelope;
+}
+
+/// Looks up a registry entry by its unique `algorithm/family` name.
+pub fn find(name: &str) -> Option<Box<dyn Workload>> {
+    registry().into_iter().find(|w| w.name() == name)
+}

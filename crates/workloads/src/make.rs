@@ -1,0 +1,243 @@
+//! Parameterized workload constructors.
+//!
+//! [`crate::registry`] instantiates these at the catalogue's canonical sizes;
+//! the benches instantiate them at their own sizes (`congest_bench`'s shard
+//! sweep runs a 4096-node deep path, for example). Either way the runner,
+//! oracle and envelope come from here — workload setup has exactly one
+//! definition per algorithm.
+
+use crate::catalogue::{bcongest_entry, check_bfs_shape, composite_entry};
+use crate::{BuiltInput, MetricsEnvelope, Workload};
+use apsp_core::mst_tradeoff::mst_tradeoff_with;
+use apsp_core::verify::{check_mst, check_weighted_apsp};
+use apsp_core::weighted_apsp::{weighted_apsp as run_weighted_apsp, WeightedApspConfig};
+use congest_algos::bfs::Bfs;
+use congest_algos::bfs_collection::{dists_of_bfs, BfsCollection};
+use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
+use congest_graph::{generators, reference, NodeId, WeightedGraph};
+
+/// Single-source BFS from node 0. Every node broadcasts at most once, so the
+/// envelope is `messages ≤ Σ deg = 2m`, `rounds ≤ n + 2`.
+pub fn bfs(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    seed: u64,
+) -> Box<dyn Workload> {
+    bcongest_entry(
+        "bfs",
+        family,
+        seed,
+        build,
+        |_| Bfs::new(NodeId::new(0)),
+        |input, outputs| {
+            check_bfs_shape(
+                &input.graph,
+                NodeId::new(0),
+                |v| outputs[v].dist,
+                |v| outputs[v].parent,
+            )
+        },
+        |input| MetricsEnvelope::bounds(2 * input.graph.m() as u64, input.graph.n() as u64 + 2),
+    )
+}
+
+/// All-sources BFS collection under random per-instance delays (Theorem 1.4).
+/// Each `(node, instance)` pair broadcasts one word when first reached
+/// (`Σ deg · n = 2mn`), plus a small allowance for delay-induced
+/// re-broadcasts (a staggered wave can improve an already-announced
+/// distance; realized totals stay within 2% of `2mn` across the families):
+/// the declared envelope is `messages ≤ 4mn`.
+pub fn bfs_collection(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    seed: u64,
+) -> Box<dyn Workload> {
+    bcongest_entry(
+        "bfs-collection",
+        family,
+        seed,
+        build,
+        move |input| BfsCollection::new(input.graph.nodes().collect()).with_random_delays(seed),
+        |input, outputs| {
+            for (j, src) in input.graph.nodes().enumerate() {
+                let got = dists_of_bfs(outputs, j);
+                let want = reference::bfs_distances(&input.graph, src);
+                if got != want {
+                    return Err(format!("BFS {j} (source {src:?}) diverges from reference"));
+                }
+            }
+            Ok(())
+        },
+        |input| MetricsEnvelope::messages(4 * input.graph.m() as u64 * input.graph.n() as u64),
+    )
+}
+
+/// Message-optimal GHS MST with the closed-form `Õ(m)` budget installed as a
+/// **hard** [`MstConfig::message_budget`] — an overdraft fails the run, it
+/// does not merely miss the envelope. Expects a weighted input.
+pub fn mst(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    seed: u64,
+) -> Box<dyn Workload> {
+    composite_entry(
+        "mst",
+        family,
+        seed,
+        build,
+        |input, cfg| {
+            let wg = input.weighted_graph();
+            let run = distributed_mst(
+                &wg,
+                &MstConfig {
+                    exec: cfg.clone(),
+                    message_budget: Some(message_bound(wg.n(), wg.m())),
+                    ..Default::default()
+                },
+            )?;
+            Ok((
+                (
+                    run.edges,
+                    run.total_weight,
+                    run.fragment,
+                    run.phases,
+                    run.complete,
+                ),
+                run.metrics,
+            ))
+        },
+        |input, value| check_mst(&input.weighted_graph(), &value.0),
+        |input| MetricsEnvelope::messages(message_bound(input.graph.n(), input.graph.m())),
+    )
+}
+
+/// The `k`-parameterized MST time–message trade-off. `k` is clamped to `n`
+/// (`usize::MAX` selects the pure-GHS message-optimal route); the `Õ(m)`
+/// envelope is declared only on that route — the central finish trades
+/// messages for rounds by design.
+pub fn mst_tradeoff(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    k: usize,
+    seed: u64,
+) -> Box<dyn Workload> {
+    composite_entry(
+        "mst-tradeoff",
+        family,
+        seed,
+        build,
+        move |input, cfg| {
+            let wg = input.weighted_graph();
+            let k_eff = k.min(wg.n().max(1));
+            let run = mst_tradeoff_with(&wg, k_eff, seed, cfg)?;
+            Ok(((run.edges, run.total_weight, run.route, run.k), run.metrics))
+        },
+        |input, value| check_mst(&input.weighted_graph(), &value.0),
+        move |input| {
+            if k >= input.graph.n().max(1) {
+                MetricsEnvelope::messages(message_bound(input.graph.n(), input.graph.m()))
+            } else {
+                MetricsEnvelope::unbounded()
+            }
+        },
+    )
+}
+
+/// Message-optimal exact weighted APSP through the Theorem 2.1 simulation.
+/// Expects a weighted input.
+pub fn weighted_apsp(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    seed: u64,
+) -> Box<dyn Workload> {
+    composite_entry(
+        "weighted-apsp",
+        family,
+        seed,
+        build,
+        move |input, cfg| {
+            let wg = input.weighted_graph();
+            let run = run_weighted_apsp(
+                &wg,
+                &WeightedApspConfig {
+                    seed,
+                    exec: cfg.clone(),
+                    ..Default::default()
+                },
+            )?;
+            Ok((
+                (
+                    run.distances,
+                    run.simulated_broadcasts,
+                    run.simulated_rounds,
+                ),
+                run.metrics,
+            ))
+        },
+        |input, value| check_weighted_apsp(&input.weighted_graph(), &value.0),
+        |_| MetricsEnvelope::unbounded(),
+    )
+}
+
+// --- bench-sized conveniences -------------------------------------------------
+
+/// [`weighted_apsp`] on a `G(n, p)` graph with weights in `1..=9`.
+pub fn weighted_apsp_gnp(n: usize, p: f64, seed: u64) -> Box<dyn Workload> {
+    weighted_apsp(
+        format!("gnp-{n}"),
+        move || {
+            let g = generators::gnp_connected(n, p, seed);
+            BuiltInput::weighted(WeightedGraph::random_weights(&g, 1..=9, seed))
+        },
+        seed,
+    )
+}
+
+/// [`mst`] on a `G(n, p)` graph with unique permutation weights.
+pub fn mst_gnp(n: usize, p: f64, seed: u64) -> Box<dyn Workload> {
+    mst(
+        format!("gnp-{n}"),
+        move || {
+            let g = generators::gnp_connected(n, p, seed);
+            BuiltInput::weighted(WeightedGraph::random_unique_weights(&g, seed))
+        },
+        seed,
+    )
+}
+
+/// [`mst`] on an `n`-node path — fragment forests thousands of levels deep,
+/// where the sharded level-bucketed treeops schedule differs most from the
+/// depth-sorted sequential one.
+pub fn mst_deep_path(n: usize, seed: u64) -> Box<dyn Workload> {
+    mst(
+        format!("path-{n}"),
+        move || {
+            let g = generators::path(n);
+            BuiltInput::weighted(WeightedGraph::random_unique_weights(&g, seed))
+        },
+        seed,
+    )
+}
+
+/// [`mst_tradeoff`] on a `G(n, p)` graph with unique permutation weights.
+pub fn mst_tradeoff_gnp(n: usize, p: f64, k: usize, seed: u64) -> Box<dyn Workload> {
+    mst_tradeoff(
+        format!("gnp-{n}"),
+        move || {
+            let g = generators::gnp_connected(n, p, seed);
+            BuiltInput::weighted(WeightedGraph::random_unique_weights(&g, seed))
+        },
+        k,
+        seed,
+    )
+}
+
+/// [`bfs_collection`] on a `G(n, p)` graph — the engine bench's sized variant
+/// of the registry's canonical per-family entries.
+pub fn bfs_collection_gnp(n: usize, p: f64, seed: u64) -> Box<dyn Workload> {
+    bfs_collection(
+        format!("gnp-{n}"),
+        move || BuiltInput::unweighted(generators::gnp_connected(n, p, seed)),
+        seed,
+    )
+}

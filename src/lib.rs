@@ -38,3 +38,4 @@ pub use congest_decomp as decomp;
 pub use congest_engine as engine;
 pub use congest_graph as graph;
 pub use congest_sched as sched;
+pub use congest_workloads as workloads;

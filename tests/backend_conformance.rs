@@ -1,101 +1,51 @@
-//! The delivery-backend conformance contract, enforced differentially: for
-//! every workload and every graph family, running under any
-//! [`DeliveryBackend`](congest_apsp::engine::DeliveryBackend) —
+//! The delivery-backend conformance contract, enforced differentially over the
+//! **entire workload registry**: for every `congest_workloads` entry, running
+//! under any [`DeliveryBackend`](congest_apsp::engine::DeliveryBackend) —
 //! `Sequential`, `Chunked` at 1/2/4/8 threads, `Sharded` at 1/2/4/8 shards
-//! (with and without worker threads) — produces outputs and `Metrics`
-//! **identical** to the sequential run. Equality is structural: per-node
-//! outputs, rounds, messages, broadcasts, and the full per-edge congestion
-//! vector, so any ordering leak in a batch merge is a hard failure, not a
-//! statistical blip.
+//! (with and without worker threads) — produces a
+//! [`RunOutcome`](congest_apsp::workloads::RunOutcome) **identical** to the
+//! sequential run. Equality is structural: the canonical output rendering plus
+//! rounds, messages, broadcasts, and the full per-edge congestion vector, so
+//! any ordering leak in a batch merge is a hard failure, not a statistical
+//! blip.
 //!
-//! The workload list is shared with `tests/parallel_determinism.rs` through
-//! `tests/common/mod.rs`, so the thread-count suite and this backend matrix
-//! can never drift apart.
+//! Registering a workload (see `congest_workloads::registry`) is what enrols
+//! it here — this suite has no workload list of its own, so it can never drift
+//! from `tests/parallel_determinism.rs` or the benches.
 
-mod common;
-
-use common::{
-    assert_bcongest_matches, assert_congest_matches, assert_mst_matches, assert_tradeoff_matches,
-    assert_weighted_apsp_matches, backend_matrix, graph_families, GossipOnce,
-};
-use congest_apsp::algos::bfs::Bfs;
-use congest_apsp::algos::leader::LeaderElect;
 use congest_apsp::engine::ExecutorConfig;
-use congest_apsp::graph::{generators, NodeId, WeightedGraph};
+use congest_apsp::workloads::{configs::backend_matrix, find, registry};
 
 #[test]
-fn bfs_identical_across_backends() {
+fn registry_identical_across_backends() {
     let configs = backend_matrix();
-    for (family, g) in graph_families() {
-        assert_bcongest_matches(
-            &format!("bfs/{family}"),
-            &Bfs::new(NodeId::new(0)),
-            &g,
-            5,
-            &configs,
-        );
+    for w in registry() {
+        // Build once per workload; every configuration runs the same input.
+        let input = w.build();
+        let base = w
+            .run_built(&input, &ExecutorConfig::sequential())
+            .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", w.name()));
+        for (label, cfg) in &configs {
+            let run = w
+                .run_built(&input, cfg)
+                .unwrap_or_else(|e| panic!("{}: run under {label} failed: {e}", w.name()));
+            assert_eq!(base.output, run.output, "{}: outputs @ {label}", w.name());
+            assert_eq!(base.metrics, run.metrics, "{}: metrics @ {label}", w.name());
+        }
     }
-}
-
-#[test]
-fn leader_election_identical_across_backends() {
-    let configs = backend_matrix();
-    for (family, g) in graph_families() {
-        assert_bcongest_matches(&format!("leader/{family}"), &LeaderElect, &g, 7, &configs);
-    }
-}
-
-#[test]
-fn gossip_identical_across_backends() {
-    // Point-to-point CONGEST with an order-sensitive checksum: catches any
-    // backend that reorders inboxes, not just one that loses messages.
-    let configs = backend_matrix();
-    for (family, g) in graph_families() {
-        assert_congest_matches(&format!("gossip/{family}"), &GossipOnce, &g, 9, &configs);
-    }
-}
-
-#[test]
-fn weighted_apsp_identical_across_backends() {
-    // End-to-end through the Theorem 2.1 simulation: leader election, LDC
-    // build, upcasts/downcasts, and the stepper all flow through the backend.
-    let g = generators::gnp_connected(26, 0.18, 21);
-    let wg = WeightedGraph::random_weights(&g, 1..=9, 21);
-    assert_weighted_apsp_matches("apsp/gnp", &wg, 3, &backend_matrix());
-}
-
-#[test]
-fn mst_identical_across_backends() {
-    // The sharded backend's first-class workload: the GHS phase loop
-    // (announce → convergecast → merge) over every family, including the
-    // deep path forests where the level-bucketed sharded schedule differs
-    // most from the depth-sorted sequential one.
-    let configs = backend_matrix();
-    for (family, g) in graph_families() {
-        let wg = WeightedGraph::random_weights(&g, 1..=9, 17);
-        assert_mst_matches(&format!("mst/{family}"), &wg, &configs);
-    }
-}
-
-#[test]
-fn mst_tradeoff_identical_across_backends() {
-    // Both trade-off routes: controlled merging + central finish (k < n,
-    // upcast/downcast heavy) and pure GHS (k = n).
-    let configs = backend_matrix();
-    let g = generators::gnp_connected(40, 0.15, 23);
-    let wg = WeightedGraph::random_unique_weights(&g, 23);
-    assert_tradeoff_matches("tradeoff/central", &wg, 4, 3, &configs);
-    assert_tradeoff_matches("tradeoff/ghs", &wg, g.n(), 3, &configs);
 }
 
 /// The fast tripwire CI's clippy job runs by name: one BCONGEST and one MST
-/// workload, sequential vs 2 shards, on a small graph. Red here means the
-/// sharded backend regressed — no need to wait for the full matrix.
+/// workload, sequential vs 2 shards. Red here means the sharded backend
+/// regressed — no need to wait for the full matrix.
 #[test]
 fn two_shard_smoke() {
-    let two_shards = vec![("sharded/2".to_string(), ExecutorConfig::sharded(2))];
-    let g = generators::gnp_connected(24, 0.2, 31);
-    assert_bcongest_matches("smoke/bfs", &Bfs::new(NodeId::new(0)), &g, 1, &two_shards);
-    let wg = WeightedGraph::random_unique_weights(&g, 31);
-    assert_mst_matches("smoke/mst", &wg, &two_shards);
+    for name in ["bfs/gnp", "mst/gnp"] {
+        let w = find(name).expect("registered workload");
+        let base = w
+            .run(&ExecutorConfig::sequential())
+            .expect("sequential run");
+        let run = w.run(&ExecutorConfig::sharded(2)).expect("2-shard run");
+        assert_eq!(base, run, "{name}: sequential vs 2 shards");
+    }
 }

@@ -67,6 +67,14 @@ fn all_documented_reexport_paths_resolve() {
     assert_eq!(delays.len(), 8);
     assert!(delays.iter().all(|&d| d < 4));
 
+    // workloads (congest_workloads)
+    let w = congest_apsp::workloads::find("gossip/path").expect("registered workload");
+    let outcome = w
+        .run(&congest_apsp::engine::ExecutorConfig::sequential())
+        .expect("gossip run");
+    assert!(outcome.metrics.messages > 0);
+    assert!(congest_apsp::workloads::registry().len() >= 10);
+
     // apsp_core (not aliased: the crate keeps its own name)
     let dist = reference::all_pairs_bfs(&g);
     congest_apsp::apsp_core::verify::check_unweighted_apsp(&g, &dist)

@@ -1,113 +1,59 @@
-//! The parallel executor's contract, enforced: for every workload and every
-//! graph family, running at 2, 4 and 8 executor threads produces outputs and
-//! `Metrics` **identical** to the sequential run (`threads = 1`). Metrics
-//! equality is structural — rounds, messages, broadcasts, and the full
-//! per-edge congestion vector — so any scheduling-order leak in the chunk
+//! The parallel executor's contract, enforced over the **entire workload
+//! registry**: every `congest_workloads` entry run at 2, 4 and 8 executor
+//! threads produces a [`RunOutcome`](congest_apsp::workloads::RunOutcome)
+//! **identical** to the sequential run (`threads = 1`). Equality is structural
+//! — the canonical output rendering plus rounds, messages, broadcasts, and the
+//! full per-edge congestion vector — so any scheduling-order leak in the chunk
 //! merge shows up as a hard failure, not a statistical blip.
 //!
-//! The workload list and equality helpers live in `tests/common/mod.rs`,
-//! shared with `tests/backend_conformance.rs` (which runs the same workloads
-//! across the full Sequential/Chunked/Sharded delivery-backend matrix).
+//! The workload list and the configuration matrices live in
+//! `congest_workloads` (shared with `tests/backend_conformance.rs`, which runs
+//! the same entries across the full delivery-backend matrix), so the two
+//! suites cannot drift apart.
 
-mod common;
-
-use common::{
-    assert_bcongest_matches, assert_congest_matches, assert_mst_matches, assert_tradeoff_matches,
-    assert_weighted_apsp_matches, graph_families, opts, thread_matrix, GossipOnce,
-};
 use congest_apsp::algos::bfs::Bfs;
-use congest_apsp::algos::bfs_collection::BfsCollection;
-use congest_apsp::algos::leader::LeaderElect;
-use congest_apsp::engine::{run_bcongest, ExecutorConfig};
-use congest_apsp::graph::{generators, NodeId, WeightedGraph};
+use congest_apsp::engine::{run_bcongest, ExecutorConfig, RunOptions};
+use congest_apsp::graph::{generators, NodeId};
+use congest_apsp::workloads::{configs::thread_matrix, registry};
 
 #[test]
-fn bfs_identical_across_thread_counts() {
+fn registry_identical_across_thread_counts() {
     let configs = thread_matrix();
-    for (family, g) in graph_families() {
-        assert_bcongest_matches(
-            &format!("bfs/{family}"),
-            &Bfs::new(NodeId::new(0)),
-            &g,
-            5,
-            &configs,
-        );
-    }
-}
-
-#[test]
-fn leader_election_identical_across_thread_counts() {
-    let configs = thread_matrix();
-    for (family, g) in graph_families() {
-        assert_bcongest_matches(&format!("leader/{family}"), &LeaderElect, &g, 7, &configs);
-    }
-}
-
-#[test]
-fn bfs_collection_with_random_delays_identical_across_thread_counts() {
-    // The Theorem 1.4 workload: per-node randomness (derived seeds) plus
-    // staggered wave starts — the hardest BCONGEST payload to keep bitwise
-    // stable under resharding.
-    let configs = thread_matrix();
-    for (family, g) in graph_families() {
-        let algo = BfsCollection::new(g.nodes().collect()).with_random_delays(13);
-        assert_bcongest_matches(&format!("bfs-collection/{family}"), &algo, &g, 13, &configs);
-    }
-}
-
-#[test]
-fn weighted_apsp_identical_across_thread_counts() {
-    // End-to-end through the Theorem 2.1 simulation: leader election, LDC
-    // build, upcasts/downcasts, and the stepper all honor the executor.
-    let g = generators::gnp_connected(26, 0.18, 21);
-    let wg = WeightedGraph::random_weights(&g, 1..=9, 21);
-    assert_weighted_apsp_matches("apsp/gnp", &wg, 3, &thread_matrix());
-}
-
-#[test]
-fn mst_identical_across_thread_counts() {
-    // The GHS workload: per-phase chunk-parallel MWOE scans and announcement
-    // charging plus the tree primitives. Outputs (edge set, fragments), rounds,
-    // messages, and the full per-edge congestion vector are pinned byte-identical.
-    let configs = thread_matrix();
-    for (family, g) in graph_families() {
-        let wg = WeightedGraph::random_weights(&g, 1..=9, 17);
-        assert_mst_matches(&format!("mst/{family}"), &wg, &configs);
-    }
-}
-
-#[test]
-fn mst_tradeoff_identical_across_thread_counts() {
-    // End-to-end through the central-finish route: controlled merging, leader
-    // election, upcast collection and downcast notification all honor the executor.
-    let g = generators::gnp_connected(40, 0.15, 23);
-    let wg = WeightedGraph::random_unique_weights(&g, 23);
-    assert_tradeoff_matches("tradeoff/central", &wg, 4, 3, &thread_matrix());
-}
-
-#[test]
-fn congest_runner_identical_across_thread_counts() {
-    let configs = thread_matrix();
-    for (family, g) in graph_families() {
-        assert_congest_matches(&format!("gossip/{family}"), &GossipOnce, &g, 9, &configs);
+    for w in registry() {
+        // Build once per workload; every configuration runs the same input.
+        let input = w.build();
+        let base = w
+            .run_built(&input, &ExecutorConfig::sequential())
+            .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", w.name()));
+        for (label, cfg) in &configs {
+            let run = w
+                .run_built(&input, cfg)
+                .unwrap_or_else(|e| panic!("{}: run under {label} failed: {e}", w.name()));
+            assert_eq!(base, run, "{} @ {label}", w.name());
+        }
     }
 }
 
 #[test]
 fn zero_threads_resolves_to_hardware_and_stays_deterministic() {
     let g = generators::gnp_connected(30, 0.2, 31);
+    let opts = |exec: ExecutorConfig| RunOptions {
+        seed: 1,
+        exec,
+        ..Default::default()
+    };
     let base = run_bcongest(
         &Bfs::new(NodeId::new(3)),
         &g,
         None,
-        &opts(1, ExecutorConfig::sequential()),
+        &opts(ExecutorConfig::sequential()),
     )
     .expect("sequential run");
     let auto = run_bcongest(
         &Bfs::new(NodeId::new(3)),
         &g,
         None,
-        &opts(1, ExecutorConfig::with_threads(0)),
+        &opts(ExecutorConfig::with_threads(0)),
     )
     .expect("hardware-thread run");
     assert_eq!(base.outputs, auto.outputs);

@@ -1,0 +1,85 @@
+//! Registry invariants: the contract every `congest_workloads` entry signs up
+//! to by existing. One suite, four guarantees —
+//!
+//! 1. **identity** — names are unique, and the catalogue spans the breadth the
+//!    paper claims (≥ 10 algorithms, ≥ 10 entries);
+//! 2. **determinism** — `build()` is a pure function of the entry (two builds
+//!    are structurally equal);
+//! 3. **correctness** — every entry has a working differential oracle;
+//! 4. **cost** — sequential metrics stay inside the entry's declared
+//!    message/round envelope (where the paper gives a bound, it is enforced,
+//!    not just documented).
+
+use congest_apsp::engine::ExecutorConfig;
+use congest_apsp::workloads::{find, registry, FAMILIES};
+
+#[test]
+fn names_are_unique_and_catalogue_is_broad() {
+    let reg = registry();
+    let mut names: Vec<String> = reg.iter().map(|w| w.name()).collect();
+    let total = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), total, "duplicate workload names");
+    assert!(total >= 10, "registry has only {total} entries");
+
+    let mut algorithms: Vec<&str> = reg.iter().map(|w| w.algorithm()).collect();
+    algorithms.sort_unstable();
+    algorithms.dedup();
+    assert!(
+        algorithms.len() >= 10,
+        "registry spans only {} algorithms: {algorithms:?}",
+        algorithms.len()
+    );
+}
+
+#[test]
+fn builds_are_deterministic() {
+    for w in registry() {
+        assert_eq!(
+            w.build(),
+            w.build(),
+            "{}: build() is not a pure function",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn every_entry_passes_its_oracle() {
+    for w in registry() {
+        w.oracle()
+            .unwrap_or_else(|e| panic!("oracle violation: {e}"));
+    }
+}
+
+#[test]
+fn metrics_stay_inside_declared_envelopes() {
+    for w in registry() {
+        let run = w
+            .run(&ExecutorConfig::sequential())
+            .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", w.name()));
+        w.envelope()
+            .check(&run.metrics)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+    }
+}
+
+#[test]
+fn find_resolves_registered_names() {
+    for family in FAMILIES {
+        let w = find(&format!("bfs/{family}")).expect("every family has a BFS entry");
+        assert_eq!(w.algorithm(), "bfs");
+        assert_eq!(w.family(), family);
+    }
+    assert!(find("no-such-workload/anywhere").is_none());
+}
+
+#[test]
+fn runs_are_repeatable() {
+    // Same entry, same config, two executions: byte-identical outcome (the
+    // benches rely on this to time repetitions).
+    let w = find("mst/gnp").expect("registered workload");
+    let cfg = ExecutorConfig::sequential();
+    assert_eq!(w.run(&cfg).unwrap(), w.run(&cfg).unwrap());
+}
