@@ -14,7 +14,9 @@
 //! `O(wdiam + n)` where `wdiam` is the weighted diameter. Both are what Theorem 1.1
 //! consumes.
 
-use congest_engine::{AggregationAlgorithm, BcongestAlgorithm, LocalView, Wire};
+use congest_engine::{
+    AggregationAlgorithm, BcongestAlgorithm, LocalView, Wire, WireDecode, WireEncode,
+};
 use congest_graph::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -28,6 +30,23 @@ pub struct WApspMsg {
 }
 
 impl Wire for WApspMsg {}
+
+impl WireEncode for WApspMsg {
+    const LANES: usize = 3;
+    fn encode(&self, out: &mut [u32]) {
+        out[0] = self.source;
+        self.dist.encode(&mut out[1..]);
+    }
+}
+
+impl WireDecode for WApspMsg {
+    fn decode(lanes: &[u32]) -> Self {
+        Self {
+            source: lanes[0],
+            dist: u64::decode(&lanes[1..]),
+        }
+    }
+}
 
 /// All-sources weight-delayed Dijkstra (exact weighted APSP in BCONGEST).
 ///

@@ -11,7 +11,9 @@
 //! the per-BFS minimum, and Theorem 1.4(ii) keeps the number of distinct BFS per
 //! node-round at `O(log n)` w.h.p., so aggregates stay `Õ(1)` words.
 
-use congest_engine::{AggregationAlgorithm, BcongestAlgorithm, LocalView, Wire};
+use congest_engine::{
+    AggregationAlgorithm, BcongestAlgorithm, LocalView, Wire, WireDecode, WireEncode,
+};
 use congest_graph::{rng, NodeId};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -26,6 +28,23 @@ pub struct BfsMsg {
 }
 
 impl Wire for BfsMsg {} // two IDs: one word
+
+impl WireEncode for BfsMsg {
+    const LANES: usize = 2;
+    fn encode(&self, out: &mut [u32]) {
+        out[0] = self.bfs;
+        out[1] = self.dist;
+    }
+}
+
+impl WireDecode for BfsMsg {
+    fn decode(lanes: &[u32]) -> Self {
+        Self {
+            bfs: lanes[0],
+            dist: lanes[1],
+        }
+    }
+}
 
 /// A collection of `ℓ ≤ n` BFS algorithms with per-instance start delays and an
 /// optional shared depth limit.

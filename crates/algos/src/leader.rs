@@ -11,6 +11,7 @@
 
 use congest_engine::{
     run_bcongest, BcongestAlgorithm, EngineError, Forest, LocalView, Metrics, RunOptions, Wire,
+    WireDecode, WireEncode,
 };
 use congest_graph::{Graph, NodeId};
 
@@ -24,6 +25,23 @@ pub struct LeaderMsg {
 }
 
 impl Wire for LeaderMsg {}
+
+impl WireEncode for LeaderMsg {
+    const LANES: usize = 2;
+    fn encode(&self, out: &mut [u32]) {
+        out[0] = self.leader;
+        out[1] = self.dist;
+    }
+}
+
+impl WireDecode for LeaderMsg {
+    fn decode(lanes: &[u32]) -> Self {
+        Self {
+            leader: lanes[0],
+            dist: lanes[1],
+        }
+    }
+}
 
 /// Min-ID flooding with BFS-parent tracking.
 #[derive(Clone, Copy, Debug, Default)]

@@ -29,7 +29,7 @@
 //! phase ⇒ broadcast complexity `O(n²)` — exactly what Corollary 2.8 feeds into
 //! Theorem 2.1.
 
-use congest_engine::{BcongestAlgorithm, LocalView, Wire};
+use congest_engine::{BcongestAlgorithm, LocalView, Wire, WireDecode, WireEncode};
 use congest_graph::{rng, NodeId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -89,6 +89,108 @@ pub enum AkoMsg {
 }
 
 impl Wire for AkoMsg {}
+
+impl WireEncode for AkoMsg {
+    // Lane 0 is the variant tag; lanes 1–5 carry up to a `PathLabel` plus an
+    // addressee (the widest variants); narrower variants leave the rest zero.
+    const LANES: usize = 6;
+    fn encode(&self, out: &mut [u32]) {
+        out.fill(0);
+        match *self {
+            AkoMsg::Leader { leader, dist } => {
+                out[0] = 0;
+                out[1] = leader;
+                out[2] = dist;
+            }
+            AkoMsg::ParentIs(v) => {
+                out[0] = 1;
+                out[1] = v.raw();
+            }
+            AkoMsg::Propose(v) => {
+                out[0] = 2;
+                out[1] = v.raw();
+            }
+            AkoMsg::Accept(v) => {
+                out[0] = 3;
+                out[1] = v.raw();
+            }
+            AkoMsg::MatchedNow => out[0] = 4,
+            AkoMsg::Count(c) => {
+                out[0] = 5;
+                out[1] = c;
+            }
+            AkoMsg::SizeIs(s) => {
+                out[0] = 6;
+                out[1] = s;
+            }
+            AkoMsg::Wave { src, via_matching } => {
+                out[0] = 7;
+                out[1] = src;
+                out[2] = u32::from(via_matching);
+            }
+            AkoMsg::Backward { label, to } => Self::encode_labelled(8, label, to, out),
+            AkoMsg::Probe { label, to } => Self::encode_labelled(9, label, to, out),
+            AkoMsg::Commit { label, to } => Self::encode_labelled(10, label, to, out),
+        }
+    }
+}
+
+impl AkoMsg {
+    fn encode_labelled(tag: u32, label: PathLabel, to: NodeId, out: &mut [u32]) {
+        out[0] = tag;
+        out[1] = label.sa;
+        out[2] = label.sb;
+        out[3] = label.ea;
+        out[4] = label.eb;
+        out[5] = to.raw();
+    }
+
+    fn decode_label(lanes: &[u32]) -> (PathLabel, NodeId) {
+        (
+            PathLabel {
+                sa: lanes[1],
+                sb: lanes[2],
+                ea: lanes[3],
+                eb: lanes[4],
+            },
+            NodeId::from(lanes[5]),
+        )
+    }
+}
+
+impl WireDecode for AkoMsg {
+    fn decode(lanes: &[u32]) -> Self {
+        match lanes[0] {
+            0 => AkoMsg::Leader {
+                leader: lanes[1],
+                dist: lanes[2],
+            },
+            1 => AkoMsg::ParentIs(NodeId::from(lanes[1])),
+            2 => AkoMsg::Propose(NodeId::from(lanes[1])),
+            3 => AkoMsg::Accept(NodeId::from(lanes[1])),
+            4 => AkoMsg::MatchedNow,
+            5 => AkoMsg::Count(lanes[1]),
+            6 => AkoMsg::SizeIs(lanes[1]),
+            7 => AkoMsg::Wave {
+                src: lanes[1],
+                via_matching: lanes[2] != 0,
+            },
+            8 => {
+                let (label, to) = Self::decode_label(lanes);
+                AkoMsg::Backward { label, to }
+            }
+            9 => {
+                let (label, to) = Self::decode_label(lanes);
+                AkoMsg::Probe { label, to }
+            }
+            10 => {
+                let (label, to) = Self::decode_label(lanes);
+                AkoMsg::Commit { label, to }
+            }
+            tag => unreachable!("invalid AkoMsg tag {tag}"),
+        }
+    }
+}
 
 /// The Ahmadi–Kuhn–Oshman exact bipartite maximum matching algorithm.
 ///
@@ -954,6 +1056,49 @@ mod tests {
     use super::*;
     use congest_engine::{run_bcongest, RunOptions};
     use congest_graph::{generators, reference};
+
+    /// Packed-codec roundtrip over every variant — lives here (not in the
+    /// crate's proptest suite) because `PathLabel`'s fields are private.
+    #[test]
+    fn ako_codec_roundtrips_every_variant() {
+        let label = PathLabel::canonical(3, 7, 5, u32::MAX);
+        let to = NodeId::new(9);
+        let msgs = [
+            AkoMsg::Leader {
+                leader: 4,
+                dist: u32::MAX,
+            },
+            AkoMsg::ParentIs(NodeId::new(2)),
+            AkoMsg::Propose(NodeId::new(0)),
+            AkoMsg::Accept(NodeId::new(77)),
+            AkoMsg::MatchedNow,
+            AkoMsg::Count(123),
+            AkoMsg::SizeIs(u32::MAX),
+            AkoMsg::Wave {
+                src: 6,
+                via_matching: true,
+            },
+            AkoMsg::Wave {
+                src: 0,
+                via_matching: false,
+            },
+            AkoMsg::Backward { label, to },
+            AkoMsg::Probe { label, to },
+            AkoMsg::Commit { label, to },
+        ];
+        let mut lanes = [0u32; AkoMsg::LANES];
+        for m in msgs {
+            m.encode(&mut lanes);
+            assert_eq!(AkoMsg::decode(&lanes), m);
+            assert_eq!(AkoMsg::decode(&lanes).words(), m.words());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AkoMsg tag")]
+    fn ako_codec_rejects_invalid_tags() {
+        AkoMsg::decode(&[99, 0, 0, 0, 0, 0]);
+    }
 
     fn run_and_check(g: &congest_graph::Graph, seed: u64) {
         let opts = RunOptions {

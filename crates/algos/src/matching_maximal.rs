@@ -10,7 +10,7 @@
 //! 3. newly matched nodes broadcast `MatchedNow` so neighbors update their
 //!    free-neighbor sets.
 
-use congest_engine::{BcongestAlgorithm, LocalView, Wire};
+use congest_engine::{BcongestAlgorithm, LocalView, Wire, WireDecode, WireEncode};
 use congest_graph::{rng, NodeId};
 use std::collections::BTreeSet;
 
@@ -26,6 +26,38 @@ pub enum MatchMsg {
 }
 
 impl Wire for MatchMsg {}
+
+impl WireEncode for MatchMsg {
+    // Lane 0 is the variant tag; lane 1 the partner ID (zero for MatchedNow).
+    const LANES: usize = 2;
+    fn encode(&self, out: &mut [u32]) {
+        match self {
+            MatchMsg::Propose(v) => {
+                out[0] = 0;
+                out[1] = v.raw();
+            }
+            MatchMsg::Accept(v) => {
+                out[0] = 1;
+                out[1] = v.raw();
+            }
+            MatchMsg::MatchedNow => {
+                out[0] = 2;
+                out[1] = 0;
+            }
+        }
+    }
+}
+
+impl WireDecode for MatchMsg {
+    fn decode(lanes: &[u32]) -> Self {
+        match lanes[0] {
+            0 => MatchMsg::Propose(NodeId::from(lanes[1])),
+            1 => MatchMsg::Accept(NodeId::from(lanes[1])),
+            2 => MatchMsg::MatchedNow,
+            tag => unreachable!("invalid MatchMsg tag {tag}"),
+        }
+    }
+}
 
 /// Israeli–Itai randomized maximal matching.
 #[derive(Clone, Copy, Debug, Default)]

@@ -10,7 +10,7 @@
 //! 3. nodes adjacent to a joiner leave and broadcast `Leave` (so neighbors can update
 //!    their undecided-neighbor sets).
 
-use congest_engine::{BcongestAlgorithm, LocalView, Wire};
+use congest_engine::{BcongestAlgorithm, LocalView, Wire, WireDecode, WireEncode};
 use congest_graph::{rng, NodeId};
 use std::collections::BTreeSet;
 
@@ -26,6 +26,41 @@ pub enum MisMsg {
 }
 
 impl Wire for MisMsg {}
+
+impl WireEncode for MisMsg {
+    // Lane 0 is the variant tag; lanes 1–2 carry the priority (Join/Leave
+    // leave them zero).
+    const LANES: usize = 3;
+    fn encode(&self, out: &mut [u32]) {
+        match self {
+            MisMsg::Priority(p) => {
+                out[0] = 0;
+                p.encode(&mut out[1..]);
+            }
+            MisMsg::Join => {
+                out[0] = 1;
+                out[1] = 0;
+                out[2] = 0;
+            }
+            MisMsg::Leave => {
+                out[0] = 2;
+                out[1] = 0;
+                out[2] = 0;
+            }
+        }
+    }
+}
+
+impl WireDecode for MisMsg {
+    fn decode(lanes: &[u32]) -> Self {
+        match lanes[0] {
+            0 => MisMsg::Priority(u64::decode(&lanes[1..])),
+            1 => MisMsg::Join,
+            2 => MisMsg::Leave,
+            tag => unreachable!("invalid MisMsg tag {tag}"),
+        }
+    }
+}
 
 /// Node decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

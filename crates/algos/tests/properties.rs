@@ -1,13 +1,14 @@
 //! Property-based tests for the distributed algorithms: exactness against
 //! sequential oracles and validity of randomized outputs across arbitrary seeds.
 
-use congest_algos::apsp_weighted::WeightedApsp;
+use congest_algos::apsp_weighted::{WApspMsg, WeightedApsp};
 use congest_algos::bfs::Bfs;
-use congest_algos::bfs_collection::BfsCollection;
-use congest_algos::matching_maximal::{matching_pairs, IsraeliItai};
-use congest_algos::mis::{is_valid_mis, LubyMis};
+use congest_algos::bfs_collection::{BfsCollection, BfsMsg};
+use congest_algos::leader::LeaderMsg;
+use congest_algos::matching_maximal::{matching_pairs, IsraeliItai, MatchMsg};
+use congest_algos::mis::{is_valid_mis, LubyMis, MisMsg};
 use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
-use congest_engine::{run_bcongest, RunOptions};
+use congest_engine::{run_bcongest, RunOptions, WireDecode};
 use congest_graph::{generators, reference, NodeId, WeightedGraph};
 use proptest::prelude::*;
 
@@ -117,4 +118,34 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn algo_message_codecs_roundtrip(a in 0u32..=u32::MAX, b in 0u32..=u32::MAX, d in 0u64..=u64::MAX, tag in 0u32..3) {
+        // Every runner message type of this crate survives the flat plane's
+        // packed encode→decode identically, with word accounting intact.
+        codec_roundtrip(LeaderMsg { leader: a, dist: b })?;
+        codec_roundtrip(BfsMsg { bfs: a, dist: b })?;
+        codec_roundtrip(WApspMsg { source: a, dist: d })?;
+        codec_roundtrip(match tag {
+            0 => MisMsg::Priority(d),
+            1 => MisMsg::Join,
+            _ => MisMsg::Leave,
+        })?;
+        codec_roundtrip(match tag {
+            0 => MatchMsg::Propose(NodeId::from(a)),
+            1 => MatchMsg::Accept(NodeId::from(a)),
+            _ => MatchMsg::MatchedNow,
+        })?;
+    }
+}
+
+/// Encode→decode must be the identity, and the decoded value must charge the
+/// same number of CONGEST words.
+fn codec_roundtrip<T: WireDecode + PartialEq + std::fmt::Debug>(v: T) -> Result<(), TestCaseError> {
+    let mut lanes = vec![0u32; T::LANES];
+    v.encode(&mut lanes);
+    let back = T::decode(&lanes);
+    prop_assert_eq!(back.words(), v.words());
+    prop_assert_eq!(back, v);
+    Ok(())
 }

@@ -13,6 +13,8 @@
 //!     [--quick] [--out BENCH_shard.json]
 //! cargo run --release -p congest-bench --bin experiments -- --bench-suite \
 //!     [--quick] [--out BENCH_suite.json]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-scale \
+//!     [--quick] [--out BENCH_scale.json]
 //! ```
 //!
 //! `--threads N` sets the process-wide executor default (0 = hardware threads):
@@ -33,10 +35,15 @@
 //! (`congest_workloads::registry`) under every backend of the wall-clock sweep
 //! (see `congest_bench::suite_bench`), asserting byte-identical outcomes, and
 //! writes the per-workload × per-backend trajectory to `BENCH_suite.json`.
+//! `--bench-scale` sweeps the message planes (boxed vs flat, sequential and
+//! parallel backends; see `congest_bench::scale_bench`) over BFS/gossip/MST on
+//! sparse graphs at 10⁵–10⁶ nodes, asserting byte-identical outcomes, written
+//! to `BENCH_scale.json`.
 
 use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
 use congest_bench::mst_bench::{run_mst_bench, MstBenchConfig};
+use congest_bench::scale_bench::{run_scale_bench, ScaleBenchConfig};
 use congest_bench::shard_bench::{run_shard_bench, ShardBenchConfig};
 use congest_bench::suite_bench::{run_suite_bench, SuiteBenchConfig};
 
@@ -104,6 +111,34 @@ fn main() {
                 );
             }
         }
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-scale") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_scale.json".into());
+        let cfg = if quick {
+            ScaleBenchConfig::quick(seed)
+        } else {
+            ScaleBenchConfig::full(seed)
+        };
+        let report = run_scale_bench(&cfg);
+        for w in &report.workloads {
+            println!(
+                "{}: n = {}, m = {}, messages {}, payload {} B, flat speedup {:.2}x",
+                w.name,
+                w.n,
+                w.m,
+                w.messages,
+                w.payload_bytes,
+                w.flat_speedup()
+            );
+            for s in &w.samples {
+                println!("  {:<18} {:>10.3} ms", s.config, s.wall_ms);
+            }
+        }
+        println!("all outcomes identical across planes and backends");
         std::fs::write(&out, report.to_json()).expect("write bench json");
         println!("wrote {out}");
         return;

@@ -13,12 +13,16 @@
 //! matrix behind `BENCH_shard.json` (sequential vs chunked vs sharded, exact
 //! counts asserted equal), behind `--bench-shard`. [`suite_bench`] is the
 //! registry bench behind `BENCH_suite.json`: every `congest_workloads` entry
-//! × every backend, behind `--bench-suite` — workload setup itself lives in
-//! `congest-workloads`, so these modules only own sweeps and report schemas.
+//! × every backend, behind `--bench-suite`. [`scale_bench`] is the
+//! message-plane scale bench behind `BENCH_scale.json`: BFS/gossip/MST at
+//! 10⁵–10⁶ nodes, boxed vs flat plane, behind `--bench-scale` — workload
+//! setup itself lives in `congest-workloads`, so these modules only own
+//! sweeps and report schemas.
 
 pub mod engine_bench;
 pub mod experiments;
 pub mod mst_bench;
+pub mod scale_bench;
 pub mod shard_bench;
 pub mod suite_bench;
 pub mod table;

@@ -1,0 +1,273 @@
+//! The message-plane scale bench behind `BENCH_scale.json`: BFS, gossip and
+//! MST on `sparse_connected` graphs up to 10⁶ nodes, boxed vs flat plane,
+//! with the plane-conformance contract checked on every sample.
+//!
+//! The workloads are **registry constructors** ([`congest_workloads::make`])
+//! at scale-bench sizes — the graph/config setup, the runner, and the oracle
+//! all live in `congest-workloads`; this module only owns the size sweep and
+//! the report schema:
+//!
+//! * **bfs/sparse-n** — single-source BFS at up to 10⁶ nodes: `O(log n)`
+//!   rounds on the recursive-tree backbone, one message per edge direction —
+//!   the round loop and the plane's scatter dominate;
+//! * **gossip/sparse-n** — the one-shot point-to-point probe at up to 10⁶
+//!   nodes: exactly `2m` messages in one delivery round, the purest measure
+//!   of per-message plane overhead;
+//! * **mst/sparse-n** — the GHS phase loop at 10⁵ nodes under its hard
+//!   `Õ(m)` message budget: convergecast/broadcast treeops at scale.
+//!
+//! Every sample's [`congest_workloads::RunOutcome`] must equal the boxed
+//! sequential baseline — outputs **and** exact metrics (messages, rounds,
+//! `payload_bytes`, the full congestion vector), so the committed message
+//! counts are pinned equal across planes by construction; the run **panics**
+//! otherwise, and a red perf-smoke CI job doubles as a plane-conformance
+//! tripwire at sizes the test matrix cannot afford. `wall_ms` is the minimum
+//! of [`ScaleBenchConfig::reps`] runs and is machine-dependent
+//! (`host_threads` is recorded).
+
+use crate::suite_bench::timed_sweep;
+use congest_engine::{ExecutorConfig, MessagePlane};
+use congest_workloads::{make, Workload};
+
+/// Sizes and repetitions for one [`run_scale_bench`] invocation.
+#[derive(Clone, Debug)]
+pub struct ScaleBenchConfig {
+    /// Master seed (same role as everywhere else in the workspace).
+    pub seed: u64,
+    /// Nodes of the BFS workload graph.
+    pub bfs_n: usize,
+    /// Nodes of the gossip workload graph.
+    pub gossip_n: usize,
+    /// Nodes of the MST workload graph.
+    pub mst_n: usize,
+    /// Timed repetitions per (workload, plane) cell; `wall_ms` records the
+    /// minimum, damping scheduler noise.
+    pub reps: usize,
+}
+
+impl ScaleBenchConfig {
+    /// CI-sized configuration (a few seconds end to end).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            bfs_n: 50_000,
+            gossip_n: 50_000,
+            mst_n: 20_000,
+            reps: 1,
+        }
+    }
+
+    /// The full configuration used for committed `BENCH_scale.json`
+    /// refreshes: BFS/gossip at 10⁶ nodes, MST at 10⁵.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            bfs_n: 1_000_000,
+            gossip_n: 1_000_000,
+            mst_n: 100_000,
+            reps: 3,
+        }
+    }
+}
+
+/// The plane sweep of one workload: the boxed sequential reference, the flat
+/// plane under the same sequential schedule (pure plane overhead delta), and
+/// the flat plane under the parallel backends (chunked at hardware threads,
+/// 4 sharded mailboxes).
+fn plane_configs() -> Vec<(String, ExecutorConfig)> {
+    vec![
+        (
+            "sequential/boxed".to_string(),
+            ExecutorConfig::sequential().with_plane(MessagePlane::Boxed),
+        ),
+        (
+            "sequential/flat".to_string(),
+            ExecutorConfig::sequential().with_plane(MessagePlane::Flat),
+        ),
+        (
+            "chunked-hw/flat".to_string(),
+            ExecutorConfig::with_threads(0).with_plane(MessagePlane::Flat),
+        ),
+        (
+            "sharded-4/flat".to_string(),
+            ExecutorConfig::sharded(4).with_plane(MessagePlane::Flat),
+        ),
+    ]
+}
+
+/// One timed execution of one workload under one (backend, plane) cell.
+#[derive(Clone, Debug)]
+pub struct ScaleSample {
+    /// Stable `backend/plane` label, e.g. `"sequential/flat"`.
+    pub config: String,
+    /// Minimum wall-clock over the repetitions, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// All samples of one workload.
+#[derive(Clone, Debug)]
+pub struct ScaleWorkloadReport {
+    /// Registry key of the workload (stable key for trajectory tooling).
+    pub name: String,
+    /// Nodes of the workload graph.
+    pub n: usize,
+    /// Edges of the workload graph.
+    pub m: usize,
+    /// Exact message count — asserted identical across planes and backends.
+    pub messages: u64,
+    /// Exact round count — asserted identical across planes and backends.
+    pub rounds: u64,
+    /// Exact delivered payload bytes — asserted identical across planes.
+    pub payload_bytes: u64,
+    /// One sample per plane configuration, boxed sequential first.
+    pub samples: Vec<ScaleSample>,
+}
+
+impl ScaleWorkloadReport {
+    /// Boxed-vs-flat wall-clock ratio under the sequential schedule (> 1
+    /// means the flat plane beat the boxed plane like for like).
+    pub fn flat_speedup(&self) -> f64 {
+        let boxed = self.samples.first().map_or(0.0, |s| s.wall_ms);
+        self.samples
+            .iter()
+            .find(|s| s.config == "sequential/flat")
+            .map_or(0.0, |s| boxed / s.wall_ms.max(1e-9))
+    }
+}
+
+/// The full scale-bench outcome, serializable to `BENCH_scale.json`.
+#[derive(Clone, Debug)]
+pub struct ScaleBenchReport {
+    /// Seed the workloads ran with.
+    pub seed: u64,
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// Per-workload samples.
+    pub workloads: Vec<ScaleWorkloadReport>,
+}
+
+/// Times one registry workload under every plane configuration through the
+/// shared [`timed_sweep`] core (build once, assert [`RunOutcome`] equality
+/// against the boxed sequential baseline on every repetition).
+///
+/// [`RunOutcome`]: congest_workloads::RunOutcome
+fn sweep(w: &dyn Workload, reps: usize) -> ScaleWorkloadReport {
+    let input = w.build();
+    let configs = plane_configs();
+    let (base, wall) = timed_sweep(w, &input, &configs, reps);
+    ScaleWorkloadReport {
+        name: w.name(),
+        n: input.graph.n(),
+        m: input.graph.m(),
+        messages: base.metrics.messages,
+        rounds: base.metrics.rounds,
+        payload_bytes: base.metrics.payload_bytes,
+        samples: configs
+            .into_iter()
+            .zip(wall)
+            .map(|((config, _), wall_ms)| ScaleSample { config, wall_ms })
+            .collect(),
+    }
+}
+
+/// Runs the three scale workloads under every plane configuration. The graphs
+/// are `sparse_connected` with `n/2` extra chords (`m ≈ 1.5 n`, diameter
+/// `O(log n)`) — the only generator family that reaches 10⁶ nodes.
+///
+/// # Panics
+///
+/// Panics if any sample's outcome differs from the boxed sequential baseline
+/// — that is the point.
+pub fn run_scale_bench(cfg: &ScaleBenchConfig) -> ScaleBenchReport {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        make::bfs_sparse(cfg.bfs_n, cfg.bfs_n / 2, cfg.seed),
+        make::gossip_sparse(cfg.gossip_n, cfg.gossip_n / 2, cfg.seed),
+        make::mst_sparse(cfg.mst_n, cfg.mst_n / 2, cfg.seed),
+    ];
+    ScaleBenchReport {
+        seed: cfg.seed,
+        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        workloads: workloads
+            .iter()
+            .map(|w| sweep(w.as_ref(), cfg.reps))
+            .collect(),
+    }
+}
+
+impl ScaleBenchReport {
+    /// Serializes to the `BENCH_scale.json` schema (documented in
+    /// `docs/BENCHMARKING.md`). Hand-rolled: the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"message-plane-scale\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str("  \"workloads\": [\n");
+        for (wi, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+            s.push_str(&format!("      \"n\": {},\n", w.n));
+            s.push_str(&format!("      \"m\": {},\n", w.m));
+            s.push_str(&format!("      \"messages\": {},\n", w.messages));
+            s.push_str(&format!("      \"rounds\": {},\n", w.rounds));
+            s.push_str(&format!("      \"payload_bytes\": {},\n", w.payload_bytes));
+            s.push_str("      \"counts_identical_across_planes\": true,\n");
+            s.push_str(&format!(
+                "      \"flat_speedup\": {:.3},\n",
+                w.flat_speedup()
+            ));
+            s.push_str("      \"samples\": [\n");
+            for (si, smp) in w.samples.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"config\": \"{}\", \"wall_ms\": {:.3}}}{}\n",
+                    smp.config,
+                    smp.wall_ms,
+                    if si + 1 < w.samples.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if wi + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_bench_is_conformant_and_serializes() {
+        let cfg = ScaleBenchConfig {
+            seed: 7,
+            bfs_n: 600,
+            gossip_n: 600,
+            mst_n: 200,
+            reps: 1,
+        };
+        // `run_scale_bench` asserts plane conformance internally.
+        let report = run_scale_bench(&cfg);
+        assert_eq!(report.workloads.len(), 3);
+        for w in &report.workloads {
+            assert_eq!(w.samples.len(), 4);
+            assert_eq!(w.samples[0].config, "sequential/boxed");
+            assert!(w.messages > 0);
+            assert!(w.payload_bytes > 0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"message-plane-scale\""));
+        assert!(json.contains("bfs/sparse-600"));
+        assert!(json.contains("mst/sparse-200"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

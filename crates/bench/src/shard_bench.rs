@@ -27,8 +27,8 @@
 //! sharded samples still measure the backend's layout and schedule).
 
 use crate::suite_bench::timed_sweep;
-use congest_engine::{DeliveryBackend, ExecutorConfig};
-use congest_workloads::{make, Workload};
+use congest_engine::ExecutorConfig;
+use congest_workloads::{configs, make, Workload};
 
 /// Sizes, shard counts, and repetitions for one [`run_shard_bench`] invocation.
 #[derive(Clone, Debug)]
@@ -133,35 +133,14 @@ pub struct ShardBenchReport {
     pub workloads: Vec<ShardWorkloadReport>,
 }
 
-/// The backend configurations of one sweep: sequential baseline, chunked at
-/// hardware threads, and each sharded count single-threaded (pure layout) —
-/// the honest comparison on any core count, since the sharded schedule does
-/// not depend on thread fan-out.
-fn backend_configs(shard_counts: &[usize]) -> Vec<(&'static str, usize, ExecutorConfig)> {
-    let mut cfgs = vec![
-        ("sequential", 0usize, ExecutorConfig::sequential()),
-        ("chunked", 0usize, ExecutorConfig::with_threads(0)),
-    ];
-    for &s in shard_counts {
-        cfgs.push((
-            "sharded",
-            s,
-            ExecutorConfig {
-                threads: 1,
-                backend: DeliveryBackend::Sharded { shards: s },
-            },
-        ));
-    }
-    cfgs
-}
-
-/// Times one registry workload under every backend through the shared
-/// [`timed_sweep`] core (build once, assert [`RunOutcome`] equality against
-/// the sequential baseline on every repetition), then reshapes the wall-clock
-/// vector into this report's `(backend, shards, threads)` samples.
+/// Times one registry workload under every backend of
+/// [`configs::shard_bench_matrix`] through the shared [`timed_sweep`] core
+/// (build once, assert [`RunOutcome`] equality against the sequential
+/// baseline on every repetition), then reshapes the wall-clock vector into
+/// this report's `(backend, shards, threads)` samples.
 fn sweep(w: &dyn Workload, reps: usize, shard_counts: &[usize]) -> ShardWorkloadReport {
     let input = w.build();
-    let triples = backend_configs(shard_counts);
+    let triples = configs::shard_bench_matrix(shard_counts);
     let labelled: Vec<(String, ExecutorConfig)> = triples
         .iter()
         .map(|(backend, shards, cfg)| (format!("{backend}/{shards}"), cfg.clone()))

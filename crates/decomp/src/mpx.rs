@@ -11,7 +11,7 @@
 //! After the claim window every node announces its cluster to its neighbors, which
 //! is exactly the information the LDC decomposition (§2.1) needs to build `F`.
 
-use congest_engine::{BcongestAlgorithm, LocalView, Wire};
+use congest_engine::{BcongestAlgorithm, LocalView, Wire, WireDecode, WireEncode};
 use congest_graph::{rng, ClusterId, Graph, NodeId};
 use rand::Rng;
 
@@ -36,6 +36,44 @@ pub enum MpxMsg {
 }
 
 impl Wire for MpxMsg {}
+
+impl WireEncode for MpxMsg {
+    // Lane 0 is the variant tag; Claim fills lanes 1–3, Announce lane 1.
+    const LANES: usize = 4;
+    fn encode(&self, out: &mut [u32]) {
+        out.fill(0);
+        match *self {
+            MpxMsg::Claim {
+                center,
+                qfrac,
+                dist,
+            } => {
+                out[0] = 0;
+                out[1] = center;
+                out[2] = qfrac;
+                out[3] = dist;
+            }
+            MpxMsg::Announce { center } => {
+                out[0] = 1;
+                out[1] = center;
+            }
+        }
+    }
+}
+
+impl WireDecode for MpxMsg {
+    fn decode(lanes: &[u32]) -> Self {
+        match lanes[0] {
+            0 => MpxMsg::Claim {
+                center: lanes[1],
+                qfrac: lanes[2],
+                dist: lanes[3],
+            },
+            1 => MpxMsg::Announce { center: lanes[1] },
+            tag => unreachable!("invalid MpxMsg tag {tag}"),
+        }
+    }
+}
 
 /// The MPX decomposition algorithm with shift parameter `beta`.
 ///

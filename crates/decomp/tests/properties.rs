@@ -3,10 +3,13 @@
 //! parameters, and seeds.
 
 use congest_decomp::baswana_sen::validate_hierarchy;
+use congest_decomp::cover::CoverMsg;
 use congest_decomp::ldc::{build_ldc, validate_ldc};
+use congest_decomp::mpx::MpxMsg;
 use congest_decomp::pruning::{max_proper_subtree, prune};
 use congest_decomp::spanner::measured_stretch;
 use congest_decomp::Hierarchy;
+use congest_engine::WireDecode;
 use congest_graph::generators;
 use proptest::prelude::*;
 
@@ -66,4 +69,27 @@ proptest! {
             prop_assert!(h.levels[d].l_nodes.contains(&congest_graph::NodeId::new(v)));
         }
     }
+
+    #[test]
+    fn decomp_message_codecs_roundtrip(center in 0u32..=u32::MAX, qfrac in 0u32..=u32::MAX, dist in 0u32..=u32::MAX, announce in 0u32..2) {
+        // Both decomposition message types survive the flat plane's packed
+        // encode→decode identically, with word accounting intact.
+        codec_roundtrip(CoverMsg { center, qfrac, dist })?;
+        codec_roundtrip(if announce == 0 {
+            MpxMsg::Claim { center, qfrac, dist }
+        } else {
+            MpxMsg::Announce { center }
+        })?;
+    }
+}
+
+/// Encode→decode must be the identity, and the decoded value must charge the
+/// same number of CONGEST words.
+fn codec_roundtrip<T: WireDecode + PartialEq + std::fmt::Debug>(v: T) -> Result<(), TestCaseError> {
+    let mut lanes = vec![0u32; T::LANES];
+    v.encode(&mut lanes);
+    let back = T::decode(&lanes);
+    prop_assert_eq!(back.words(), v.words());
+    prop_assert_eq!(back, v);
+    Ok(())
 }

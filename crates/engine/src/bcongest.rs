@@ -17,9 +17,10 @@
 use crate::error::EngineError;
 use crate::exec::{self, ExecutorConfig};
 use crate::metrics::Metrics;
+use crate::plane::RoundPlane;
 use crate::shard;
 use crate::view::LocalView;
-use crate::wire::Wire;
+use crate::wire::{Wire, WireDecode};
 use congest_graph::{rng, EdgeId, Graph, NodeId};
 
 /// A BCONGEST algorithm as a pure per-node state machine.
@@ -39,8 +40,10 @@ use congest_graph::{rng, EdgeId, Graph, NodeId};
 pub trait BcongestAlgorithm {
     /// Per-node state.
     type State: Clone + std::fmt::Debug;
-    /// The broadcast message type; must fit in one word (one `O(log n)`-bit message).
-    type Msg: Wire;
+    /// The broadcast message type; must fit in one word (one `O(log n)`-bit
+    /// message). The [`WireDecode`] bound gives every message a fixed-width
+    /// packed codec so any algorithm can run on either message plane.
+    type Msg: WireDecode;
     /// Per-node output.
     type Output: Clone + std::fmt::Debug + PartialEq;
 
@@ -212,7 +215,7 @@ where
         .max_rounds
         .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);
 
-    let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+    let mut plane: RoundPlane<A::Msg> = RoundPlane::new(cfg, n);
     let mut round: usize = 0;
     let mut rounds_used: u64 = 0;
 
@@ -253,25 +256,19 @@ where
                 sink(u, e, msg.clone());
             }
         };
-        shard::deliver_phase(cfg, &broadcasters, &expand, &mut metrics, &mut inboxes);
+        plane.deliver(cfg, &broadcasters, &expand, &mut metrics);
 
         // 3. Receive: per-node state transitions, sharded with their inboxes.
         //    With an observer attached the phase stays sequential so the
         //    callback sees inboxes in node order.
         let any_received = if let Some(obs) = observer.as_mut() {
-            let mut any = false;
-            for i in 0..n {
-                if !inboxes[i].is_empty() {
-                    any = true;
-                    let inbox = std::mem::take(&mut inboxes[i]);
-                    obs(NodeId::new(i), round, &inbox);
-                    algo.receive(&mut states[i], round, &inbox);
-                }
-            }
-            any
+            plane.receive_each_seq(&mut states, |i, st, inbox| {
+                obs(NodeId::new(i), round, inbox);
+                algo.receive(st, round, inbox);
+            })
         } else {
-            shard::receive_phase(cfg, &mut states, &mut inboxes, |st, inbox| {
-                algo.receive(st, round, &inbox);
+            plane.receive(cfg, &mut states, |st, inbox| {
+                algo.receive(st, round, inbox);
             })
         };
 

@@ -10,9 +10,10 @@
 use crate::error::EngineError;
 use crate::exec;
 use crate::metrics::Metrics;
+use crate::plane::RoundPlane;
 use crate::shard;
 use crate::view::LocalView;
-use crate::wire::Wire;
+use crate::wire::{Wire, WireDecode};
 use congest_graph::{rng, EdgeId, Graph, NodeId};
 
 /// A CONGEST algorithm as a pure per-node state machine with per-edge sends.
@@ -24,8 +25,10 @@ use congest_graph::{rng, EdgeId, Graph, NodeId};
 pub trait CongestAlgorithm {
     /// Per-node state.
     type State: Clone + std::fmt::Debug;
-    /// Message type; at most one per edge per round, one word each.
-    type Msg: Wire;
+    /// Message type; at most one per edge per round, one word each. The
+    /// [`WireDecode`] bound gives every message a fixed-width packed codec so
+    /// any algorithm can run on either message plane.
+    type Msg: WireDecode;
     /// Per-node output.
     type Output: Clone + std::fmt::Debug + PartialEq;
 
@@ -101,7 +104,7 @@ where
         .max_rounds
         .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);
 
-    let mut inboxes: Vec<Vec<(NodeId, A::Msg)>> = vec![Vec::new(); n];
+    let mut plane: RoundPlane<A::Msg> = RoundPlane::new(cfg, n);
     let mut round = 0usize;
     let mut rounds_used = 0u64;
     loop {
@@ -141,10 +144,10 @@ where
                 sink(*u, e, m.clone());
             }
         };
-        shard::deliver_phase(cfg, &all_sends, &expand, &mut metrics, &mut inboxes);
+        plane.deliver(cfg, &all_sends, &expand, &mut metrics);
         // Per-node receive transitions, sharded with their inboxes.
-        let any_received = shard::receive_phase(cfg, &mut states, &mut inboxes, |st, inbox| {
-            algo.receive(st, round, &inbox);
+        let any_received = plane.receive(cfg, &mut states, |st, inbox| {
+            algo.receive(st, round, inbox);
         });
         if any_sent || any_received {
             rounds_used = round as u64 + 1;

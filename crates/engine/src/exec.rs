@@ -79,6 +79,28 @@ impl Default for DeliveryBackend {
     }
 }
 
+/// How a runner's round buffers represent in-flight messages.
+///
+/// Like [`DeliveryBackend`], the plane is a layout knob only: outputs and
+/// [`crate::Metrics`] are byte-identical across planes for every workload and
+/// every backend — the root `tests/plane_conformance.rs` suite pins this
+/// differentially over the whole registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MessagePlane {
+    /// The legacy representation: each in-flight message is a typed value
+    /// pushed into a per-node `Vec` inbox. Allocates per message on the hot
+    /// path; works for any [`crate::Wire`] payload including variable-width
+    /// ones.
+    #[default]
+    Boxed,
+    /// The flat struct-of-arrays plane ([`crate::plane`]): messages are packed
+    /// into per-round `u32` arenas via [`crate::WireEncode`] and scattered to
+    /// receivers by a stable counting sort. Arenas are reused across rounds,
+    /// so steady-state rounds are allocation-free. Requires fixed-width
+    /// ([`crate::WireDecode`]) payloads, which every runner message type is.
+    Flat,
+}
+
 /// How a runner executes its per-node phases.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExecutorConfig {
@@ -88,15 +110,20 @@ pub struct ExecutorConfig {
     /// How the delivery phase moves messages (outputs/metrics identical for
     /// every backend; see [`DeliveryBackend`]).
     pub backend: DeliveryBackend,
+    /// How round buffers represent in-flight messages (outputs/metrics
+    /// identical for either plane; see [`MessagePlane`]).
+    pub message_plane: MessagePlane,
 }
 
 impl Default for ExecutorConfig {
     /// The process-wide default (sequential unless [`set_default_threads`]
-    /// was called), with the [`DeliveryBackend::Chunked`] delivery backend.
+    /// was called), with the [`DeliveryBackend::Chunked`] delivery backend
+    /// and the [`MessagePlane::Boxed`] message plane.
     fn default() -> Self {
         Self {
             threads: default_threads(),
             backend: DeliveryBackend::Chunked,
+            message_plane: MessagePlane::Boxed,
         }
     }
 }
@@ -107,6 +134,7 @@ impl ExecutorConfig {
         Self {
             threads: 1,
             backend: DeliveryBackend::Sequential,
+            message_plane: MessagePlane::Boxed,
         }
     }
 
@@ -116,6 +144,7 @@ impl ExecutorConfig {
         Self {
             threads,
             backend: DeliveryBackend::Chunked,
+            message_plane: MessagePlane::Boxed,
         }
     }
 
@@ -128,6 +157,7 @@ impl ExecutorConfig {
         Self {
             threads: shards,
             backend: DeliveryBackend::Sharded { shards },
+            message_plane: MessagePlane::Boxed,
         }
     }
 
@@ -135,6 +165,13 @@ impl ExecutorConfig {
     #[must_use]
     pub const fn with_backend(mut self, backend: DeliveryBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Replaces the message plane, keeping everything else.
+    #[must_use]
+    pub const fn with_plane(mut self, plane: MessagePlane) -> Self {
+        self.message_plane = plane;
         self
     }
 
@@ -177,8 +214,10 @@ impl ExecutorConfig {
 }
 
 /// Contiguous chunk size for `len` items over `threads` workers: one chunk
-/// per worker.
-fn chunk_size_for(len: usize, threads: usize) -> usize {
+/// per worker. `pub(crate)`: the flat plane ([`crate::plane`]) partitions its
+/// staging arenas with the same boundaries so its chunk order matches the
+/// boxed path's.
+pub(crate) fn chunk_size_for(len: usize, threads: usize) -> usize {
     len.div_ceil(threads).max(1)
 }
 
@@ -427,6 +466,18 @@ mod tests {
         );
         // `sharded(s)` provisions one worker per shard.
         assert_eq!(ExecutorConfig::sharded(4).threads, 4);
+    }
+
+    #[test]
+    fn plane_defaults_to_boxed() {
+        assert_eq!(ExecutorConfig::default().message_plane, MessagePlane::Boxed);
+        assert_eq!(
+            ExecutorConfig::sequential().message_plane,
+            MessagePlane::Boxed
+        );
+        let flat = ExecutorConfig::sharded(2).with_plane(MessagePlane::Flat);
+        assert_eq!(flat.message_plane, MessagePlane::Flat);
+        assert_eq!(flat.backend, DeliveryBackend::Sharded { shards: 2 });
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //! * [`shard`] / [`DeliveryBackend`] — pluggable message-delivery backends
 //!   (sequential, chunk-parallel, sharded mailboxes with batched cross-shard
 //!   queues), all byte-identical to the sequential path;
+//! * [`plane`] / [`MessagePlane`] — pluggable round-buffer representations
+//!   (boxed per-node mailboxes vs the flat packed-arena plane whose
+//!   steady-state rounds are allocation-free), also byte-identical;
 //! * [`Metrics`] — composable cost accounting;
-//! * [`Wire`] — message sizes in `O(log n)`-bit words.
+//! * [`Wire`] — message sizes in `O(log n)`-bit words, with
+//!   [`WireEncode`]/[`WireDecode`] packing fixed-width payloads into `u32`
+//!   lanes for the flat plane.
 //!
 //! ## Example: running a BCONGEST algorithm directly
 //!
@@ -62,6 +67,7 @@ mod congest;
 mod error;
 pub mod exec;
 mod metrics;
+pub mod plane;
 pub mod router;
 pub mod shard;
 pub mod treeops;
@@ -74,8 +80,9 @@ pub use bcongest::{
 };
 pub use congest::{run_congest, CongestAlgorithm, CongestRun};
 pub use error::EngineError;
-pub use exec::{DeliveryBackend, ExecutorConfig};
+pub use exec::{DeliveryBackend, ExecutorConfig, MessagePlane};
 pub use metrics::Metrics;
+pub use plane::{FlatPlane, RoundPlane};
 pub use shard::ShardPlan;
 pub use treeops::{
     broadcast, broadcast_with, convergecast, convergecast_with, downcast, downcast_budgeted,
@@ -83,4 +90,4 @@ pub use treeops::{
     Delivered, DowncastOutcome, Forest, UpcastOutcome,
 };
 pub use view::LocalView;
-pub use wire::Wire;
+pub use wire::{Wire, WireDecode, WireEncode};

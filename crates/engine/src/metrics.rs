@@ -22,6 +22,16 @@ pub struct Metrics {
     pub messages: u64,
     /// Total broadcast operations (BCONGEST only; 0 otherwise).
     pub broadcasts: u64,
+    /// Implementation-level payload bytes moved, summed over all messages.
+    ///
+    /// Model-level cost stays in [`Metrics::messages`] (words); this field is
+    /// the memory-envelope side of the ledger — `payload_bytes / messages` is
+    /// the measured bytes-per-message a workload's envelope bounds. Charges
+    /// default to 8 bytes per word ([`Metrics::add_messages`]); the runners
+    /// charge the exact packed width (`4 × LANES` bytes per message) on both
+    /// message planes, so the field is plane-independent and participates in
+    /// conformance equality.
+    pub payload_bytes: u64,
     congestion: Vec<u64>,
 }
 
@@ -32,14 +42,26 @@ impl Metrics {
             rounds: 0,
             messages: 0,
             broadcasts: 0,
+            payload_bytes: 0,
             congestion: vec![0; m],
         }
     }
 
-    /// Records `words` messages crossing edge `e` (either direction).
+    /// Records `words` messages crossing edge `e` (either direction), at the
+    /// default 8 bytes of payload per word.
     #[inline]
     pub fn add_messages(&mut self, e: EdgeId, words: u64) {
+        self.add_messages_sized(e, words, 8 * words);
+    }
+
+    /// Records `words` messages crossing edge `e` carrying exactly `bytes`
+    /// payload bytes in total. The runners use this with the packed wire
+    /// width (`4 × LANES` bytes per message) so both message planes charge
+    /// identically.
+    #[inline]
+    pub fn add_messages_sized(&mut self, e: EdgeId, words: u64, bytes: u64) {
         self.messages += words;
+        self.payload_bytes += bytes;
         self.congestion[e.index()] += words;
     }
 
@@ -95,6 +117,7 @@ impl Metrics {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.broadcasts += other.broadcasts;
+        self.payload_bytes += other.payload_bytes;
         for (a, b) in self.congestion.iter_mut().zip(&other.congestion) {
             *a += b;
         }
@@ -111,6 +134,7 @@ impl Metrics {
         self.rounds = self.rounds.max(other.rounds);
         self.messages += other.messages;
         self.broadcasts += other.broadcasts;
+        self.payload_bytes += other.payload_bytes;
         for (a, b) in self.congestion.iter_mut().zip(&other.congestion) {
             *a += b;
         }
@@ -136,6 +160,17 @@ mod tests {
         assert_eq!(m.congestion(), &[2, 0, 5]);
         assert_eq!(m.max_congestion_where(|e| e.index() < 2), 2);
         assert_eq!(m.total_messages_where(|e| e.index() != 2), 2);
+        // Default byte charge is 8 bytes per word.
+        assert_eq!(m.payload_bytes, 8 * 7);
+    }
+
+    #[test]
+    fn sized_charges_decouple_bytes_from_words() {
+        let mut m = Metrics::new(1);
+        m.add_messages_sized(EdgeId::new(0), 3, 12);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.payload_bytes, 12);
+        assert_eq!(m.congestion(), &[3]);
     }
 
     #[test]

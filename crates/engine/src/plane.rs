@@ -1,0 +1,501 @@
+//! The flat struct-of-arrays message plane: packed round arenas in place of
+//! per-node `Vec` mailboxes.
+//!
+//! The boxed plane (the legacy path in [`crate::shard`]) allocates a typed
+//! tuple per in-flight message and pushes it into its receiver's `Vec` inbox —
+//! at n = 10⁵–10⁶ the per-round allocator traffic dominates the round loop.
+//! [`FlatPlane`] instead stages every emission of a round as a fixed-width
+//! record of `u32` lanes (ids packed directly, payloads via
+//! [`WireEncode`](crate::WireEncode)) in per-partition arenas, then scatters
+//! the records to receivers with a **stable counting sort**:
+//!
+//! 1. *stage* — senders are partitioned contiguously (mirroring the resolved
+//!    [`DeliveryBackend`]'s batching) and each partition appends its records to
+//!    its own arena, in sender order. Concatenating arenas in partition order
+//!    therefore reproduces the global sender order — the same order every
+//!    boxed backend delivers in.
+//! 2. *count + charge* — one sequential pass over the arenas bumps the
+//!    per-receiver counts and charges [`Metrics`] per record, in the same
+//!    global order as the sequential boxed path (and `u64` addition commutes,
+//!    so any order gives identical totals).
+//! 3. *scatter* — a prefix sum turns counts into receiver offsets; a second
+//!    pass moves each record to its receiver's slice of one flat inbox arena.
+//!    The scatter is stable, so each receiver sees its messages in global
+//!    sender order — byte-identical to every boxed backend. The root
+//!    `tests/plane_conformance.rs` suite pins this differentially over the
+//!    whole workload registry.
+//!
+//! All buffers — arenas, counts, offsets, cursors, inbox, per-chunk decode
+//! scratch — live in the [`FlatPlane`] and are reused across rounds via
+//! `clear()`, so once warm a steady-state round performs **zero heap
+//! allocations** (pinned by `crates/engine/tests/alloc_regression.rs`).
+//!
+//! [`RoundPlane`] is the runner-facing switch: the
+//! [`ExecutorConfig::message_plane`] field picks boxed or flat, and both
+//! runners drive whichever variant through the same deliver/receive calls.
+
+use crate::exec::{self, DeliveryBackend, ExecutorConfig, MessagePlane};
+use crate::metrics::Metrics;
+use crate::shard::{self, ShardPlan};
+use crate::wire::WireDecode;
+use congest_graph::{EdgeId, NodeId};
+use std::ops::Range;
+
+/// Reusable flat round buffers for messages of type `M`.
+///
+/// One value serves one run: construct with [`FlatPlane::new`] for the graph's
+/// node count, then alternate [`FlatPlane::deliver`] / [`FlatPlane::receive`]
+/// once per round. See the module docs for the layout and the order argument.
+#[derive(Debug)]
+pub struct FlatPlane<M: WireDecode> {
+    /// Per-partition staging arenas; records of `4 + LANES` lanes:
+    /// `[receiver, sender, edge, words, payload...]`.
+    stages: Vec<Vec<u32>>,
+    /// Per-receiver record counts for the round in flight (`n` entries).
+    counts: Vec<u32>,
+    /// Prefix offsets into the inbox arena, in record units (`n + 1` entries).
+    starts: Vec<u32>,
+    /// Scatter cursors, reset from `starts` each round (`n` entries).
+    cursors: Vec<u32>,
+    /// The scattered inbox arena; records of `1 + LANES` lanes:
+    /// `[sender, payload...]`, grouped by receiver in `starts` order.
+    inbox: Vec<u32>,
+    /// Per-chunk decode buffers for the receive phase.
+    scratch: Vec<Vec<(NodeId, M)>>,
+    /// Reusable sender-partition table for the deliver phase.
+    parts: Vec<Range<usize>>,
+    /// Records delivered in the round in flight (0 after receive).
+    delivered: usize,
+}
+
+impl<M: WireDecode + Send + Sync> FlatPlane<M> {
+    /// An empty plane for an `n`-node graph. The fixed-size tables are
+    /// allocated up front; arenas grow on first use and are reused after.
+    pub fn new(n: usize) -> Self {
+        Self {
+            stages: Vec::new(),
+            counts: vec![0; n],
+            starts: vec![0; n + 1],
+            cursors: Vec::with_capacity(n),
+            inbox: Vec::new(),
+            scratch: Vec::new(),
+            parts: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Nodes the plane was sized for.
+    pub fn n(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Stage-record stride in `u32` lanes.
+    const fn rec_stride() -> usize {
+        4 + M::LANES
+    }
+
+    /// Inbox-record stride in `u32` lanes.
+    const fn inbox_stride() -> usize {
+        1 + M::LANES
+    }
+
+    /// Fills `self.parts` with contiguous sender partitions mirroring the
+    /// resolved backend's batching. Any contiguous in-order partition
+    /// preserves conformance (the scatter is stable over the concatenation);
+    /// matching the backend keeps the parallel grain identical to the boxed
+    /// path's. The table is reused across rounds — no allocation once warm.
+    fn partition<S>(&mut self, cfg: &ExecutorConfig, senders: &[(NodeId, S)]) {
+        let n = self.n();
+        self.parts.clear();
+        match cfg.resolved_backend() {
+            DeliveryBackend::Sequential => self.parts.push(0..senders.len()),
+            DeliveryBackend::Chunked => {
+                let size = exec::chunk_size_for(senders.len(), cfg.effective_threads());
+                for c in 0..senders.len().div_ceil(size).max(1) {
+                    self.parts
+                        .push(c * size..((c + 1) * size).min(senders.len()));
+                }
+            }
+            DeliveryBackend::Sharded { shards } => {
+                let plan = ShardPlan::new(n, shards);
+                let mut lo = 0usize;
+                for s in 0..plan.shards() {
+                    let end = plan.range(s).end;
+                    let hi = lo + senders[lo..].partition_point(|(v, _)| v.index() < end);
+                    self.parts.push(lo..hi);
+                    lo = hi;
+                }
+                debug_assert_eq!(lo, senders.len(), "every sender belongs to a shard");
+            }
+        }
+    }
+
+    /// Stages, charges and scatters one round of messages.
+    ///
+    /// Same contract as the boxed `shard::deliver_phase`: `senders` in node
+    /// order, `expand` emitting `(receiver, edge, msg)` per message in the
+    /// sender's emission order; charges `msg.words()` words and the packed
+    /// wire width (`4 × LANES` bytes) per message.
+    pub fn deliver<S, F>(
+        &mut self,
+        cfg: &ExecutorConfig,
+        senders: &[(NodeId, S)],
+        expand: &F,
+        metrics: &mut Metrics,
+    ) where
+        S: Sync,
+        F: Fn(NodeId, &S, &mut dyn FnMut(NodeId, EdgeId, M)) + Sync,
+    {
+        debug_assert_eq!(self.delivered, 0, "deliver twice without receive");
+        let stride = Self::rec_stride();
+        self.partition(cfg, senders);
+        let n_parts = self.parts.len();
+        while self.stages.len() < n_parts {
+            self.stages.push(Vec::new());
+        }
+
+        // 1. Stage: each partition packs its emissions into its own arena.
+        let stage_into = |arena: &mut Vec<u32>, mine: &[(NodeId, S)]| {
+            arena.clear();
+            for (v, payload) in mine {
+                expand(*v, payload, &mut |u, e, m| {
+                    let base = arena.len();
+                    arena.resize(base + stride, 0);
+                    arena[base] = u.raw();
+                    arena[base + 1] = v.raw();
+                    arena[base + 2] = e.raw();
+                    arena[base + 3] = m.words() as u32;
+                    m.encode(&mut arena[base + 4..base + stride]);
+                });
+            }
+        };
+        let threads = cfg.effective_threads();
+        if threads <= 1 || n_parts <= 1 {
+            for (arena, part) in self.stages.iter_mut().zip(&self.parts) {
+                stage_into(arena, &senders[part.clone()]);
+            }
+        } else {
+            exec::pool_for(threads).scope(|sc| {
+                let mut rest = self.stages.as_mut_slice();
+                for part in &self.parts {
+                    let (arena, tail) = rest.split_first_mut().expect("one arena per partition");
+                    rest = tail;
+                    let stage_into = &stage_into;
+                    let mine = &senders[part.clone()];
+                    sc.spawn(move |_| stage_into(arena, mine));
+                }
+            });
+        }
+
+        // 2. Count receivers and charge metrics, in global sender order.
+        self.counts.fill(0);
+        let bytes = 4 * M::LANES as u64;
+        let mut total = 0usize;
+        for arena in &self.stages[..n_parts] {
+            for rec in arena.chunks_exact(stride) {
+                metrics.add_messages_sized(EdgeId::from(rec[2]), u64::from(rec[3]), bytes);
+                self.counts[rec[0] as usize] += 1;
+                total += 1;
+            }
+        }
+
+        // 3. Prefix offsets, then stable scatter into the inbox arena.
+        let mut acc = 0u32;
+        self.starts[0] = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            self.starts[i + 1] = acc;
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.starts[..self.n()]);
+        let istride = Self::inbox_stride();
+        self.inbox.clear();
+        self.inbox.resize(total * istride, 0);
+        for arena in &self.stages[..n_parts] {
+            for rec in arena.chunks_exact(stride) {
+                let u = rec[0] as usize;
+                let slot = self.cursors[u] as usize;
+                self.cursors[u] += 1;
+                let base = slot * istride;
+                self.inbox[base] = rec[1];
+                self.inbox[base + 1..base + istride].copy_from_slice(&rec[4..]);
+            }
+        }
+        self.delivered = total;
+    }
+
+    /// Decodes each non-empty inbox and applies `f(state, inbox)`, chunked
+    /// over nodes like the boxed `shard::receive_phase`. Returns whether any
+    /// node received.
+    pub fn receive<St, F>(&mut self, cfg: &ExecutorConfig, states: &mut [St], f: F) -> bool
+    where
+        St: Send,
+        F: Fn(&mut St, &[(NodeId, M)]) + Sync,
+    {
+        assert_eq!(states.len(), self.n(), "states must match the plane");
+        if self.delivered == 0 {
+            return false;
+        }
+        self.delivered = 0;
+        let istride = Self::inbox_stride();
+        let decode_range = |start: usize,
+                            sts: &mut [St],
+                            scratch: &mut Vec<(NodeId, M)>,
+                            counts: &[u32],
+                            starts: &[u32],
+                            inbox: &[u32]| {
+            for (off, st) in sts.iter_mut().enumerate() {
+                let i = start + off;
+                if counts[i] == 0 {
+                    continue;
+                }
+                scratch.clear();
+                for k in 0..counts[i] as usize {
+                    let base = (starts[i] as usize + k) * istride;
+                    scratch.push((
+                        NodeId::from(inbox[base]),
+                        M::decode(&inbox[base + 1..base + istride]),
+                    ));
+                }
+                f(st, scratch);
+            }
+        };
+        let threads = cfg.effective_threads();
+        let n = states.len();
+        if threads <= 1 || n <= 1 {
+            if self.scratch.is_empty() {
+                self.scratch.push(Vec::new());
+            }
+            decode_range(
+                0,
+                states,
+                &mut self.scratch[0],
+                &self.counts,
+                &self.starts,
+                &self.inbox,
+            );
+        } else {
+            let size = exec::chunk_size_for(n, threads);
+            let chunk_count = n.div_ceil(size);
+            while self.scratch.len() < chunk_count {
+                self.scratch.push(Vec::new());
+            }
+            let (counts, starts, inbox) = (&self.counts, &self.starts, &self.inbox);
+            exec::pool_for(threads).scope(|sc| {
+                let mut rest_states = states;
+                let mut rest_scratch = self.scratch.as_mut_slice();
+                let mut start = 0usize;
+                while !rest_states.is_empty() {
+                    let take = size.min(rest_states.len());
+                    let (chunk, tail) = rest_states.split_at_mut(take);
+                    rest_states = tail;
+                    let (scr, scr_tail) = rest_scratch
+                        .split_first_mut()
+                        .expect("one scratch per chunk");
+                    rest_scratch = scr_tail;
+                    let decode_range = &decode_range;
+                    let chunk_start = start;
+                    sc.spawn(move |_| decode_range(chunk_start, chunk, scr, counts, starts, inbox));
+                    start += take;
+                }
+            });
+        }
+        true
+    }
+
+    /// Sequential variant passing the node index, for observer hooks: applies
+    /// `f(node, state, inbox)` to every node with a non-empty inbox, in node
+    /// order. Returns whether any node received.
+    pub fn receive_each_seq<St, F>(&mut self, states: &mut [St], mut f: F) -> bool
+    where
+        F: FnMut(usize, &mut St, &[(NodeId, M)]),
+    {
+        assert_eq!(states.len(), self.n(), "states must match the plane");
+        if self.delivered == 0 {
+            return false;
+        }
+        self.delivered = 0;
+        if self.scratch.is_empty() {
+            self.scratch.push(Vec::new());
+        }
+        let istride = Self::inbox_stride();
+        let scratch = &mut self.scratch[0];
+        for (i, st) in states.iter_mut().enumerate() {
+            if self.counts[i] == 0 {
+                continue;
+            }
+            scratch.clear();
+            for k in 0..self.counts[i] as usize {
+                let base = (self.starts[i] as usize + k) * istride;
+                scratch.push((
+                    NodeId::from(self.inbox[base]),
+                    M::decode(&self.inbox[base + 1..base + istride]),
+                ));
+            }
+            f(i, st, scratch);
+        }
+        true
+    }
+}
+
+/// The runner-facing plane switch: boxed per-node mailboxes or the flat
+/// arena plane, selected by [`ExecutorConfig::message_plane`]. Both variants
+/// expose the same deliver/receive cycle and produce byte-identical inbox
+/// sequences and [`Metrics`].
+#[derive(Debug)]
+pub enum RoundPlane<M: WireDecode> {
+    /// Legacy typed mailboxes, delivered through [`crate::shard`].
+    Boxed(Vec<Vec<(NodeId, M)>>),
+    /// The packed arena plane.
+    Flat(FlatPlane<M>),
+}
+
+impl<M: WireDecode + Send + Sync> RoundPlane<M> {
+    /// A plane for an `n`-node graph, picked by `cfg.message_plane`.
+    pub fn new(cfg: &ExecutorConfig, n: usize) -> Self {
+        match cfg.message_plane {
+            MessagePlane::Boxed => RoundPlane::Boxed(vec![Vec::new(); n]),
+            MessagePlane::Flat => RoundPlane::Flat(FlatPlane::new(n)),
+        }
+    }
+
+    /// Delivers one round of messages (see `shard::deliver_phase` /
+    /// [`FlatPlane::deliver`] for the shared contract).
+    pub fn deliver<S, F>(
+        &mut self,
+        cfg: &ExecutorConfig,
+        senders: &[(NodeId, S)],
+        expand: &F,
+        metrics: &mut Metrics,
+    ) where
+        S: Sync,
+        F: Fn(NodeId, &S, &mut dyn FnMut(NodeId, EdgeId, M)) + Sync,
+    {
+        match self {
+            RoundPlane::Boxed(inboxes) => {
+                shard::deliver_phase(cfg, senders, expand, metrics, inboxes);
+            }
+            RoundPlane::Flat(plane) => plane.deliver(cfg, senders, expand, metrics),
+        }
+    }
+
+    /// Applies `f(state, inbox)` to every node with a non-empty inbox.
+    /// Returns whether any node received.
+    pub fn receive<St, F>(&mut self, cfg: &ExecutorConfig, states: &mut [St], f: F) -> bool
+    where
+        St: Send,
+        F: Fn(&mut St, &[(NodeId, M)]) + Sync,
+    {
+        match self {
+            RoundPlane::Boxed(inboxes) => {
+                shard::receive_phase(cfg, states, inboxes, |st, inbox| f(st, &inbox))
+            }
+            RoundPlane::Flat(plane) => plane.receive(cfg, states, f),
+        }
+    }
+
+    /// Sequential receive passing the node index (observer hooks — the
+    /// callback sees inboxes in node order regardless of backend).
+    pub fn receive_each_seq<St, F>(&mut self, states: &mut [St], mut f: F) -> bool
+    where
+        F: FnMut(usize, &mut St, &[(NodeId, M)]),
+    {
+        match self {
+            RoundPlane::Boxed(inboxes) => {
+                let mut any = false;
+                for (i, st) in states.iter_mut().enumerate() {
+                    if !inboxes[i].is_empty() {
+                        any = true;
+                        let inbox = std::mem::take(&mut inboxes[i]);
+                        f(i, st, &inbox);
+                    }
+                }
+                any
+            }
+            RoundPlane::Flat(plane) => plane.receive_each_seq(states, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, Graph};
+
+    fn configs() -> Vec<ExecutorConfig> {
+        vec![
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(4),
+            ExecutorConfig::sharded(3),
+            ExecutorConfig::sequential().with_backend(DeliveryBackend::Sharded { shards: 4 }),
+        ]
+    }
+
+    /// Every third node floods its ID; returns metrics plus the received
+    /// `(receiver → [(sender, msg)])` transcript.
+    fn run_round(
+        g: &Graph,
+        cfg: &ExecutorConfig,
+        rounds: usize,
+    ) -> (Metrics, Vec<Vec<(NodeId, u64)>>) {
+        let senders: Vec<(NodeId, u64)> = g
+            .nodes()
+            .filter(|v| v.index() % 3 == 0)
+            .map(|v| (v, v.index() as u64))
+            .collect();
+        let expand = |v: NodeId, payload: &u64, sink: &mut dyn FnMut(NodeId, EdgeId, u64)| {
+            for (e, u) in g.incident(v) {
+                sink(u, e, *payload);
+            }
+        };
+        let mut metrics = Metrics::new(g.m());
+        let mut plane: RoundPlane<u64> = RoundPlane::new(cfg, g.n());
+        let mut transcript: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); g.n()];
+        for _ in 0..rounds {
+            plane.deliver(cfg, &senders, &expand, &mut metrics);
+            let mut sink: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); g.n()];
+            plane.receive(cfg, &mut sink, |slot, inbox| {
+                slot.extend_from_slice(inbox);
+            });
+            for (t, s) in transcript.iter_mut().zip(sink) {
+                t.extend(s);
+            }
+        }
+        (metrics, transcript)
+    }
+
+    #[test]
+    fn flat_matches_boxed_for_every_backend() {
+        for g in [
+            generators::gnp_connected(30, 0.2, 5),
+            generators::star(17),
+            generators::path(23),
+        ] {
+            let (base_m, base_t) = run_round(&g, &ExecutorConfig::sequential(), 2);
+            for cfg in configs() {
+                for plane in [MessagePlane::Boxed, MessagePlane::Flat] {
+                    let cfg = cfg.clone().with_plane(plane);
+                    let (m, t) = run_round(&g, &cfg, 2);
+                    assert_eq!(base_m, m, "metrics under {cfg:?}");
+                    assert_eq!(base_t, t, "inbox order under {cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_round_is_free_and_receive_reports_false() {
+        let cfg = ExecutorConfig::sequential().with_plane(MessagePlane::Flat);
+        let mut plane: RoundPlane<u32> = RoundPlane::new(&cfg, 4);
+        let expand = |_v: NodeId, _p: &u32, _s: &mut dyn FnMut(NodeId, EdgeId, u32)| {
+            panic!("no senders, no expansion")
+        };
+        let mut metrics = Metrics::new(3);
+        plane.deliver(&cfg, &[], &expand, &mut metrics);
+        assert_eq!(metrics.messages, 0);
+        let mut states = vec![0u32; 4];
+        assert!(!plane.receive(&cfg, &mut states, |_st, _inbox| panic!(
+            "nothing to receive"
+        )));
+    }
+}

@@ -29,7 +29,7 @@
 
 use crate::exec::{self, DeliveryBackend, ExecutorConfig};
 use crate::metrics::Metrics;
-use crate::wire::Wire;
+use crate::wire::WireEncode;
 use congest_graph::{EdgeId, NodeId};
 use std::ops::Range;
 
@@ -149,8 +149,9 @@ where
 /// `senders` lists the round's senders **in node order** with their per-sender
 /// payloads; `expand` turns one sender's payload into `(receiver, edge, msg)`
 /// emissions (calling the sink once per message, in the sender's emission
-/// order). The function charges `msg.words()` per emission to `metrics` and
-/// appends `(sender, msg)` to each receiver's inbox — in global
+/// order). The function charges `msg.words()` words and the packed wire width
+/// (`4 × LANES` bytes — the same charge the flat plane makes) per emission to
+/// `metrics`, and appends `(sender, msg)` to each receiver's inbox — in global
 /// `(shard, node, edge)` order for every backend, so inbox contents are
 /// byte-identical across backends and thread counts.
 pub(crate) fn deliver_phase<S, M, F>(
@@ -161,14 +162,15 @@ pub(crate) fn deliver_phase<S, M, F>(
     inboxes: &mut [Vec<(NodeId, M)>],
 ) where
     S: Sync,
-    M: Wire + Send,
+    M: WireEncode + Send,
     F: Fn(NodeId, &S, &mut dyn FnMut(NodeId, EdgeId, M)) + Sync,
 {
+    let bytes = 4 * M::LANES as u64;
     match cfg.resolved_backend() {
         DeliveryBackend::Sequential => {
             for (v, payload) in senders {
                 expand(*v, payload, &mut |u, e, m| {
-                    metrics.add_messages(e, m.words() as u64);
+                    metrics.add_messages_sized(e, m.words() as u64, bytes);
                     inboxes[u.index()].push((*v, m));
                 });
             }
@@ -182,8 +184,9 @@ pub(crate) fn deliver_phase<S, M, F>(
                 out
             });
             for outbox in &outboxes {
-                metrics
-                    .add_messages_batch(outbox.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
+                for (_, _, e, m) in outbox {
+                    metrics.add_messages_sized(*e, m.words() as u64, bytes);
+                }
             }
             for outbox in outboxes {
                 for (u, v, _e, msg) in outbox {
@@ -210,7 +213,7 @@ fn deliver_sharded<S, M, F>(
     inboxes: &mut [Vec<(NodeId, M)>],
 ) where
     S: Sync,
-    M: Wire + Send,
+    M: WireEncode + Send,
     F: Fn(NodeId, &S, &mut dyn FnMut(NodeId, EdgeId, M)) + Sync,
 {
     let s_count = plan.shards();
@@ -267,9 +270,12 @@ fn deliver_sharded<S, M, F>(
 
     // Accounting: `u64` addition commutes, so charging (src, dst)-ordered
     // batches reproduces the sequential totals and congestion vector exactly.
+    let bytes = 4 * M::LANES as u64;
     for batches in &per_src {
         for batch in batches {
-            metrics.add_messages_batch(batch.iter().map(|(_, _, e, m)| (*e, m.words() as u64)));
+            for (_, _, e, m) in batch {
+                metrics.add_messages_sized(*e, m.words() as u64, bytes);
+            }
         }
     }
 
@@ -328,10 +334,7 @@ mod tests {
             // 4-thread chunked executor re-pointed at 8-shard delivery.
             ExecutorConfig::with_threads(4).with_backend(DeliveryBackend::Sharded { shards: 8 }),
             // Sharded layout driven single-threaded: the inline shard loop.
-            ExecutorConfig {
-                threads: 1,
-                backend: DeliveryBackend::Sharded { shards: 4 },
-            },
+            ExecutorConfig::sequential().with_backend(DeliveryBackend::Sharded { shards: 4 }),
         ]
     }
 

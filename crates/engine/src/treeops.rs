@@ -470,11 +470,11 @@ pub fn convergecast_with<P: Wire + Send>(
             // them at the level barrier, shards in order, folds each parent's
             // children in ascending node order — the sequential fold order.
             let plan = ShardPlan::new(g.n(), shards);
-            let levels = level_buckets(g, forest);
+            let levels = level_order(g, forest);
             let threads = cfg.effective_threads();
             let mut queues: Vec<Vec<(NodeId, EdgeId, P)>> = vec![Vec::new(); plan.shards()];
-            for level in (1..levels.len()).rev() {
-                for &v in &levels[level] {
+            for level in (1..levels.levels()).rev() {
+                for &v in levels.level(level) {
                     if let (Some(p), Some(e)) = (forest.parent(v), forest.parent_edge(v)) {
                         let sent = acc[v.index()].take().expect("each node sends once");
                         note_sender(v, &sent);
@@ -584,14 +584,45 @@ fn drain_level_parallel<P: Wire + Send>(
     }
 }
 
-/// Nodes bucketed by forest depth, ascending node order within each bucket
-/// (`O(n + depth)` — the sharded backend's substitute for depth sorting).
-fn level_buckets(g: &Graph, forest: &Forest) -> Vec<Vec<NodeId>> {
-    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); forest.depth() as usize + 1];
-    for v in g.nodes() {
-        levels[forest.depth_of(v) as usize].push(v);
+/// Nodes bucketed by forest depth in CSR form: one flat node array plus
+/// per-level offsets, built by a stable counting sort (`O(n + depth)`, two
+/// allocations total — the sharded backends' substitute for depth sorting).
+/// Within each level nodes are in ascending node order, exactly like the
+/// nested-`Vec` bucketing this replaces.
+struct LevelOrder {
+    order: Vec<NodeId>,
+    offsets: Vec<usize>,
+}
+
+impl LevelOrder {
+    /// Number of levels (`depth + 1`).
+    fn levels(&self) -> usize {
+        self.offsets.len() - 1
     }
-    levels
+
+    /// The nodes at depth `l`, ascending.
+    fn level(&self, l: usize) -> &[NodeId] {
+        &self.order[self.offsets[l]..self.offsets[l + 1]]
+    }
+}
+
+fn level_order(g: &Graph, forest: &Forest) -> LevelOrder {
+    let levels = forest.depth() as usize + 1;
+    let mut offsets = vec![0usize; levels + 1];
+    for v in g.nodes() {
+        offsets[forest.depth_of(v) as usize + 1] += 1;
+    }
+    for l in 0..levels {
+        offsets[l + 1] += offsets[l];
+    }
+    let mut cursors = offsets[..levels].to_vec();
+    let mut order = vec![NodeId::new(0); g.n()];
+    for v in g.nodes() {
+        let d = forest.depth_of(v) as usize;
+        order[cursors[d]] = v;
+        cursors[d] += 1;
+    }
+    LevelOrder { order, offsets }
 }
 
 /// Result of a [`broadcast`] run.
@@ -672,8 +703,9 @@ pub fn broadcast_with<P: Wire>(
         at_node[v.index()] = Some(p);
     };
     if let DeliveryBackend::Sharded { .. } = cfg.resolved_backend() {
-        for level in level_buckets(g, forest) {
-            for v in level {
+        let levels = level_order(g, forest);
+        for l in 0..levels.levels() {
+            for &v in levels.level(l) {
                 flood(v);
             }
         }
@@ -916,10 +948,8 @@ mod tests {
         .expect("sequential convergecast");
         for shards in [2usize, 4, 8] {
             for threads in [1usize, 2, 4] {
-                let cfg = ExecutorConfig {
-                    threads,
-                    backend: DeliveryBackend::Sharded { shards },
-                };
+                let cfg = ExecutorConfig::with_threads(threads)
+                    .with_backend(DeliveryBackend::Sharded { shards });
                 let out = convergecast_with(&g, &f, values.clone(), combine, None, &cfg)
                     .expect("sharded convergecast");
                 assert_eq!(

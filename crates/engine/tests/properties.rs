@@ -1,15 +1,28 @@
 //! Property-based tests for the execution engine: routing always delivers, tree
 //! operations deliver everything exactly once, capacity is respected, the
-//! accounting invariants hold for arbitrary inputs, and the sharded delivery
+//! accounting invariants hold for arbitrary inputs, the sharded delivery
 //! backend is indistinguishable from the sequential one — outputs, [`Metrics`],
-//! and even the round/amount at which a budget error fires.
+//! and even the round/amount at which a budget error fires — and the packed
+//! wire codec of the flat message plane round-trips every primitive payload.
 
 use congest_engine::{
     convergecast_with, downcast, router, run_bcongest, treeops::Forest, upcast, BcongestAlgorithm,
-    DeliveryBackend, ExecutorConfig, LocalView, RunOptions, ShardPlan,
+    DeliveryBackend, ExecutorConfig, LocalView, MessagePlane, RunOptions, ShardPlan, WireDecode,
 };
-use congest_graph::{generators, reference, NodeId};
+use congest_graph::{generators, reference, EdgeId, NodeId};
 use proptest::prelude::*;
+
+/// Encode → decode round-trip, plus the flat/boxed accounting agreement: the
+/// packed width is the constant `LANES` while the model-level cost `words()`
+/// is whatever the boxed plane charges — both planes must see the same value.
+fn codec_roundtrip<T: WireDecode>(v: T) -> Result<(), TestCaseError> {
+    let mut lanes = vec![0u32; T::LANES];
+    v.encode(&mut lanes);
+    let back = T::decode(&lanes);
+    prop_assert_eq!(&back, &v, "decode ∘ encode = id");
+    prop_assert_eq!(back.words(), v.words(), "flat and boxed words() agree");
+    Ok(())
+}
 
 fn bfs_forest(g: &congest_graph::Graph, root: usize) -> Forest {
     let parents = reference::bfs_tree(g, NodeId::new(root));
@@ -178,10 +191,7 @@ proptest! {
             .expect("sequential run");
         let cfgs = [
             ExecutorConfig::sharded(shards),
-            ExecutorConfig {
-                threads: 1,
-                backend: DeliveryBackend::Sharded { shards },
-            },
+            ExecutorConfig::sequential().with_backend(DeliveryBackend::Sharded { shards }),
         ];
         for cfg in cfgs {
             let run = run_bcongest(&MinFlood, &g, None, &opts(seed, cfg.clone()))
@@ -212,6 +222,45 @@ proptest! {
             }
             (Err(a), Err(b)) => prop_assert_eq!(a, b, "identical BudgetExceeded"),
             (a, b) => prop_assert!(false, "one backend failed, the other did not: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn primitive_codecs_roundtrip(a in 0u32..=u32::MAX, b in 0u64..=u64::MAX,
+                                  d in 0usize..=usize::MAX, p0 in 0u32..=u32::MAX,
+                                  p1 in 0u32..=u32::MAX, q0 in 0u64..=u64::MAX,
+                                  q1 in 0u64..=u64::MAX, id in 0u32..u32::MAX) {
+        codec_roundtrip(a)?;
+        codec_roundtrip(b)?;
+        codec_roundtrip(b as i64)?; // full-range i64 via the u64 bit pattern
+        codec_roundtrip(d)?;
+        codec_roundtrip((p0, p1))?;
+        codec_roundtrip((q0, q1))?;
+        codec_roundtrip(())?;
+        codec_roundtrip(NodeId::from(id))?;
+        codec_roundtrip(EdgeId::from(id))?;
+        codec_roundtrip(congest_graph::ClusterId::from(id))?;
+    }
+
+    #[test]
+    fn flat_plane_reproduces_boxed_runs_exactly(seed in 0u64..60, shards in 1usize..8) {
+        // The flat packed-arena plane must be indistinguishable from the boxed
+        // mailboxes for a full run under every backend: outputs, rounds,
+        // messages, broadcasts, payload bytes, per-edge congestion.
+        let g = generators::gnp_connected(20 + (seed as usize % 13), 0.2, seed);
+        let base = run_bcongest(&MinFlood, &g, None, &opts(seed, ExecutorConfig::sequential()))
+            .expect("boxed sequential run");
+        let cfgs = [
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(4),
+            ExecutorConfig::sharded(shards),
+        ];
+        for cfg in cfgs {
+            let flat = cfg.with_plane(MessagePlane::Flat);
+            let run = run_bcongest(&MinFlood, &g, None, &opts(seed, flat.clone()))
+                .expect("flat run");
+            prop_assert_eq!(&base.outputs, &run.outputs, "outputs under {:?}", &flat);
+            prop_assert_eq!(&base.metrics, &run.metrics, "metrics under {:?}", &flat);
         }
     }
 

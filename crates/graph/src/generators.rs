@@ -79,6 +79,27 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     Graph::from_edges(n, &edges)
 }
 
+/// Sparse connected graph in `O(n + extra_edges)` time: a uniform random
+/// recursive tree (expected depth `O(log n)`, so rounds stay low at any `n`)
+/// plus `extra_edges` uniform random chords. Self-loop chords are skipped and
+/// the builder dedups parallel edges, so `m` lands slightly below
+/// `n - 1 + extra_edges`. This is the large-`n` generator behind the scale
+/// bench — the `gnp*` family costs `Θ(n²)` to sample and is unusable past
+/// ~10⁴ nodes.
+pub fn sparse_connected(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    let mut r = seeded(derive(seed, 0x7370_6172));
+    let mut b = GraphBuilder::new(n);
+    b.add_edges((1..n).map(|i| (i, r.random_range(0..i))));
+    for _ in 0..extra_edges {
+        let u = r.random_range(0..n);
+        let v = r.random_range(0..n);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
 /// Erdős–Rényi `G(n, p)` (possibly disconnected).
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
     let mut r = seeded(derive(seed, 0x676e_7001));
@@ -241,6 +262,21 @@ pub fn sparse_bridge(k: usize, bridge_len: usize) -> Graph {
 mod tests {
     use super::*;
     use crate::reference;
+
+    #[test]
+    fn sparse_connected_is_connected_sparse_and_shallow() {
+        let g = sparse_connected(5000, 2500, 3);
+        assert!(reference::is_connected(&g));
+        assert!(g.m() >= 4999, "tree backbone survives dedup");
+        assert!(g.m() <= 4999 + 2500);
+        // The recursive-tree backbone keeps the graph low-diameter: BFS from
+        // node 0 must reach everything within O(log n) ≪ n hops.
+        let dist = reference::bfs_distances(&g, crate::NodeId::new(0));
+        let ecc = dist.iter().map(|d| d.expect("connected")).max().unwrap();
+        assert!(ecc <= 64, "eccentricity {ecc} is not logarithmic");
+        // Determinism: same parameters, same graph.
+        assert_eq!(g, sparse_connected(5000, 2500, 3));
+    }
 
     #[test]
     fn path_and_cycle_shapes() {

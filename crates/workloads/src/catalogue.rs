@@ -7,13 +7,14 @@
 
 use crate::adapter::{BuildFn, FnWorkload};
 use crate::{BuiltInput, MetricsEnvelope, Workload};
-use congest_algos::gossip::{expected_gossip, GossipOnce};
 use congest_algos::leader::LeaderElect;
 use congest_algos::matching_bipartite::BipartiteMatching;
 use congest_algos::matching_maximal::{matching_pairs, IsraeliItai};
 use congest_algos::mis::{is_valid_mis, LubyMis};
 use congest_decomp::ldc::{build_ldc_with, validate_ldc};
-use congest_engine::{run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, RunOptions};
+use congest_engine::{
+    run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, RunOptions, WireEncode,
+};
 use congest_graph::{generators, reference, Graph, NodeId, WeightedGraph};
 
 /// The named graph families the per-family entries are instantiated over:
@@ -74,6 +75,9 @@ where
     A::Msg: Send + Sync,
     A::Output: 'static,
 {
+    // Every message of an engine-runner entry travels the plane at the packed
+    // codec width, so the memory envelope is exact, not an estimate.
+    let msg_bytes = 4 * <A::Msg as WireEncode>::LANES as u64;
     Box::new(FnWorkload {
         algorithm,
         family,
@@ -101,7 +105,7 @@ where
             ))
         }),
         oracle: Box::new(move |input, value| oracle(input, &value.outputs)),
-        envelope: Box::new(envelope),
+        envelope: Box::new(move |input| envelope(input).with_message_bytes(msg_bytes)),
     })
 }
 
@@ -121,6 +125,7 @@ where
     A::Msg: Send + Sync,
     A::Output: 'static,
 {
+    let msg_bytes = 4 * <A::Msg as WireEncode>::LANES as u64;
     Box::new(FnWorkload {
         algorithm,
         family,
@@ -141,7 +146,7 @@ where
             Ok((run.outputs, run.metrics))
         }),
         oracle: Box::new(move |input, outputs| oracle(input, outputs)),
-        envelope: Box::new(envelope),
+        envelope: Box::new(move |input| envelope(input).with_message_bytes(msg_bytes)),
     })
 }
 
@@ -260,19 +265,10 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
     // One-shot gossip — the point-to-point delivery-order probe, with its
     // closed-form local oracle. Exactly one message per edge direction.
     for &family in &FAMILIES {
-        entries.push(congest_entry(
-            "gossip",
+        entries.push(crate::make::gossip(
             family.to_string(),
-            9,
             move || BuiltInput::unweighted(family_graph(family)),
-            |_| GossipOnce,
-            |input, outputs| {
-                let want = expected_gossip(&input.graph);
-                (outputs == &want[..])
-                    .then_some(())
-                    .ok_or_else(|| "checksums diverge from the local oracle".to_string())
-            },
-            |input| MetricsEnvelope::bounds(2 * input.graph.m() as u64, 2),
+            9,
         ));
     }
 
@@ -410,7 +406,8 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
             let lnn = (g.n().max(2) as f64).ln();
             validate_ldc(g, ldc, (8.0 * lnn) as u32, (10.0 * lnn) as usize)
         },
-        |_| MetricsEnvelope::unbounded(),
+        // MPX claim/announce waves are 4-lane packed messages (16 bytes).
+        |_| MetricsEnvelope::unbounded().with_message_bytes(16),
     ));
 
     entries

@@ -3,7 +3,7 @@
 //! root test suites, the benches, and downstream consumers sweep the *same*
 //! configurations and cannot drift apart.
 
-use congest_engine::{DeliveryBackend, ExecutorConfig};
+use congest_engine::{DeliveryBackend, ExecutorConfig, MessagePlane};
 
 /// The thread-count matrix of `tests/parallel_determinism.rs`: the chunked
 /// backend at 2/4/8 workers, pinned against the sequential baseline.
@@ -35,10 +35,45 @@ pub fn backend_matrix() -> Vec<(String, ExecutorConfig)> {
         cfgs.push((format!("sharded/{s}"), ExecutorConfig::sharded(s)));
         cfgs.push((
             format!("sharded/{s}-1thread"),
-            ExecutorConfig {
-                threads: 1,
-                backend: DeliveryBackend::Sharded { shards: s },
-            },
+            ExecutorConfig::with_threads(1).with_backend(DeliveryBackend::Sharded { shards: s }),
+        ));
+    }
+    cfgs
+}
+
+/// The message-plane conformance matrix of `tests/plane_conformance.rs`:
+/// every [`backend_matrix`] configuration crossed with both message planes.
+/// The boxed plane is the semantic reference; the flat plane must reproduce
+/// its outcome (outputs *and* exact [`congest_engine::Metrics`]) on every
+/// cell.
+pub fn plane_matrix() -> Vec<(String, ExecutorConfig)> {
+    let planes = [("boxed", MessagePlane::Boxed), ("flat", MessagePlane::Flat)];
+    backend_matrix()
+        .into_iter()
+        .flat_map(|(label, cfg)| {
+            planes
+                .into_iter()
+                .map(move |(pl, plane)| (format!("{label}/{pl}"), cfg.clone().with_plane(plane)))
+        })
+        .collect()
+}
+
+/// The backend sweep of the delivery-backend bench (`BENCH_shard.json`):
+/// sequential baseline, chunked at hardware threads, and each sharded count
+/// single-threaded (pure layout) — the honest comparison on any core count,
+/// since the sharded schedule does not depend on thread fan-out. Returns
+/// `(backend label, shards, config)` triples; `shards` is 0 for the
+/// non-sharded entries.
+pub fn shard_bench_matrix(shard_counts: &[usize]) -> Vec<(&'static str, usize, ExecutorConfig)> {
+    let mut cfgs = vec![
+        ("sequential", 0usize, ExecutorConfig::sequential()),
+        ("chunked", 0usize, ExecutorConfig::with_threads(0)),
+    ];
+    for &s in shard_counts {
+        cfgs.push((
+            "sharded",
+            s,
+            ExecutorConfig::with_threads(1).with_backend(DeliveryBackend::Sharded { shards: s }),
         ));
     }
     cfgs
@@ -71,6 +106,47 @@ mod tests {
             labels.sort_unstable();
             labels.dedup();
             assert_eq!(labels.len(), matrix.len());
+        }
+    }
+
+    #[test]
+    fn plane_matrix_doubles_the_backend_matrix() {
+        let planes = plane_matrix();
+        let backends = backend_matrix();
+        assert_eq!(planes.len(), 2 * backends.len());
+        // Every backend configuration appears once per plane, and the boxed
+        // half is exactly the backend matrix with the default plane.
+        for (label, cfg) in &backends {
+            let boxed = planes
+                .iter()
+                .find(|(l, _)| l == &format!("{label}/boxed"))
+                .expect("boxed cell");
+            let flat = planes
+                .iter()
+                .find(|(l, _)| l == &format!("{label}/flat"))
+                .expect("flat cell");
+            assert_eq!(&boxed.1, cfg);
+            assert_eq!(boxed.1.message_plane, MessagePlane::Boxed);
+            assert_eq!(flat.1.message_plane, MessagePlane::Flat);
+            assert_eq!(flat.1.backend, cfg.backend);
+            assert_eq!(flat.1.threads, cfg.threads);
+        }
+    }
+
+    #[test]
+    fn shard_bench_matrix_stays_in_sync_with_bench_sweep() {
+        let m = shard_bench_matrix(&[2, 4, 8]);
+        assert_eq!(m.len(), 2 + 3);
+        assert_eq!(m[0].0, "sequential");
+        assert_eq!(m[0].2, ExecutorConfig::sequential());
+        assert_eq!(m[1].0, "chunked");
+        assert_eq!(m[1].2.backend, DeliveryBackend::Chunked);
+        for (i, &s) in [2usize, 4, 8].iter().enumerate() {
+            let (backend, shards, ref cfg) = m[2 + i];
+            assert_eq!(backend, "sharded");
+            assert_eq!(shards, s);
+            assert_eq!(cfg.backend, DeliveryBackend::Sharded { shards: s });
+            assert_eq!(cfg.threads, 1, "sharded bench cells are pure layout");
         }
     }
 

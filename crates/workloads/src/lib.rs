@@ -112,6 +112,13 @@ pub struct MetricsEnvelope {
     pub max_messages: Option<u64>,
     /// Hard upper bound on rounds.
     pub max_rounds: Option<u64>,
+    /// The **memory envelope**: a hard upper bound on the *average* wire size
+    /// of a delivered message, in bytes — the check is
+    /// `payload_bytes ≤ max_message_bytes × messages` against the exact
+    /// [`Metrics::payload_bytes`] both message planes charge identically.
+    /// Engine-runner entries get this auto-filled with the packed codec width
+    /// (`4 × LANES`); composite entries declare a bound on their mix.
+    pub max_message_bytes: Option<u64>,
 }
 
 impl MetricsEnvelope {
@@ -120,6 +127,7 @@ impl MetricsEnvelope {
         Self {
             max_messages: None,
             max_rounds: None,
+            max_message_bytes: None,
         }
     }
 
@@ -128,6 +136,7 @@ impl MetricsEnvelope {
         Self {
             max_messages: Some(max),
             max_rounds: None,
+            max_message_bytes: None,
         }
     }
 
@@ -136,7 +145,15 @@ impl MetricsEnvelope {
         Self {
             max_messages: Some(max_messages),
             max_rounds: Some(max_rounds),
+            max_message_bytes: None,
         }
+    }
+
+    /// Adds (or replaces) the memory envelope: at most `bytes` per message on
+    /// average.
+    pub const fn with_message_bytes(mut self, bytes: u64) -> Self {
+        self.max_message_bytes = Some(bytes);
+        self
     }
 
     /// Checks `metrics` against the declared bounds.
@@ -153,6 +170,14 @@ impl MetricsEnvelope {
         if let Some(b) = self.max_rounds {
             if metrics.rounds > b {
                 return Err(format!("rounds {} exceed envelope {b}", metrics.rounds));
+            }
+        }
+        if let Some(b) = self.max_message_bytes {
+            if metrics.payload_bytes > b.saturating_mul(metrics.messages) {
+                return Err(format!(
+                    "payload bytes {} exceed the {b}-byte/message memory envelope over {} messages",
+                    metrics.payload_bytes, metrics.messages
+                ));
             }
         }
         Ok(())

@@ -6,13 +6,14 @@
 //! oracle and envelope come from here — workload setup has exactly one
 //! definition per algorithm.
 
-use crate::catalogue::{bcongest_entry, check_bfs_shape, composite_entry};
+use crate::catalogue::{bcongest_entry, check_bfs_shape, composite_entry, congest_entry};
 use crate::{BuiltInput, MetricsEnvelope, Workload};
 use apsp_core::mst_tradeoff::mst_tradeoff_with;
 use apsp_core::verify::{check_mst, check_weighted_apsp};
 use apsp_core::weighted_apsp::{weighted_apsp as run_weighted_apsp, WeightedApspConfig};
 use congest_algos::bfs::Bfs;
 use congest_algos::bfs_collection::{dists_of_bfs, BfsCollection};
+use congest_algos::gossip::{expected_gossip, GossipOnce};
 use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
 use congest_graph::{generators, reference, NodeId, WeightedGraph};
 
@@ -72,6 +73,30 @@ pub fn bfs_collection(
     )
 }
 
+/// One-shot gossip — the point-to-point delivery-order probe, with its
+/// closed-form local oracle. Exactly one message per edge direction, in
+/// exactly 2 rounds (send + the empty settling round).
+pub fn gossip(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    seed: u64,
+) -> Box<dyn Workload> {
+    congest_entry(
+        "gossip",
+        family,
+        seed,
+        build,
+        |_| GossipOnce,
+        |input, outputs| {
+            let want = expected_gossip(&input.graph);
+            (outputs == &want[..])
+                .then_some(())
+                .ok_or_else(|| "checksums diverge from the local oracle".to_string())
+        },
+        |input| MetricsEnvelope::bounds(2 * input.graph.m() as u64, 2),
+    )
+}
+
 /// Message-optimal GHS MST with the closed-form `Õ(m)` budget installed as a
 /// **hard** [`MstConfig::message_budget`] — an overdraft fails the run, it
 /// does not merely miss the envelope. Expects a weighted input.
@@ -107,7 +132,12 @@ pub fn mst(
             ))
         },
         |input, value| check_mst(&input.weighted_graph(), &value.0),
-        |input| MetricsEnvelope::messages(message_bound(input.graph.n(), input.graph.m())),
+        // Every GHS charge is one word at the default 8 bytes/word (candidate
+        // announcements, convergecast/broadcast hops, connect edges).
+        |input| {
+            MetricsEnvelope::messages(message_bound(input.graph.n(), input.graph.m()))
+                .with_message_bytes(8)
+        },
     )
 }
 
@@ -133,11 +163,14 @@ pub fn mst_tradeoff(
             Ok(((run.edges, run.total_weight, run.route, run.k), run.metrics))
         },
         |input, value| check_mst(&input.weighted_graph(), &value.0),
+        // GHS hops are one word (8 bytes); the central route's leader-collected
+        // finish upcasts multi-word summaries, so the mix is bounded, not exact.
         move |input| {
             if k >= input.graph.n().max(1) {
                 MetricsEnvelope::messages(message_bound(input.graph.n(), input.graph.m()))
+                    .with_message_bytes(8)
             } else {
-                MetricsEnvelope::unbounded()
+                MetricsEnvelope::unbounded().with_message_bytes(16)
             }
         },
     )
@@ -175,7 +208,9 @@ pub fn weighted_apsp(
             ))
         },
         |input, value| check_weighted_apsp(&input.weighted_graph(), &value.0),
-        |_| MetricsEnvelope::unbounded(),
+        // The Theorem 2.1 simulation mixes 4-byte transport words with
+        // multi-word upcast/downcast charges; 16 bytes/message bounds the mix.
+        |_| MetricsEnvelope::unbounded().with_message_bytes(16),
     )
 }
 
@@ -238,6 +273,42 @@ pub fn bfs_collection_gnp(n: usize, p: f64, seed: u64) -> Box<dyn Workload> {
     bfs_collection(
         format!("gnp-{n}"),
         move || BuiltInput::unweighted(generators::gnp_connected(n, p, seed)),
+        seed,
+    )
+}
+
+// --- scale-bench conveniences (sparse_connected: O(n + extra) build, low
+// --- diameter — the only family that reaches 10⁶ nodes) ----------------------
+
+/// [`bfs`] on a [`generators::sparse_connected`] graph — the scale bench's
+/// million-node single-source BFS.
+pub fn bfs_sparse(n: usize, extra_edges: usize, seed: u64) -> Box<dyn Workload> {
+    bfs(
+        format!("sparse-{n}"),
+        move || BuiltInput::unweighted(generators::sparse_connected(n, extra_edges, seed)),
+        seed,
+    )
+}
+
+/// [`gossip`] on a [`generators::sparse_connected`] graph — the scale bench's
+/// million-node one-shot point-to-point probe.
+pub fn gossip_sparse(n: usize, extra_edges: usize, seed: u64) -> Box<dyn Workload> {
+    gossip(
+        format!("sparse-{n}"),
+        move || BuiltInput::unweighted(generators::sparse_connected(n, extra_edges, seed)),
+        seed,
+    )
+}
+
+/// [`mst`] on a [`generators::sparse_connected`] graph with unique permutation
+/// weights — the scale bench's 10⁵-node GHS run.
+pub fn mst_sparse(n: usize, extra_edges: usize, seed: u64) -> Box<dyn Workload> {
+    mst(
+        format!("sparse-{n}"),
+        move || {
+            let g = generators::sparse_connected(n, extra_edges, seed);
+            BuiltInput::weighted(WeightedGraph::random_unique_weights(&g, seed))
+        },
         seed,
     )
 }

@@ -1,0 +1,62 @@
+//! The message-plane conformance contract, enforced differentially over the
+//! **entire workload registry**: for every `congest_workloads` entry, running
+//! on the flat zero-copy plane
+//! ([`MessagePlane::Flat`](congest_apsp::engine::MessagePlane)) under any
+//! delivery backend — `Sequential`, `Chunked` at 1/2/4/8 threads, `Sharded`
+//! at 1/2/4/8 shards (with and without worker threads) — produces a
+//! [`RunOutcome`](congest_apsp::workloads::RunOutcome) **identical** to the
+//! boxed sequential reference. Equality is structural: the canonical output
+//! rendering plus rounds, messages, broadcasts, `payload_bytes`, and the full
+//! per-edge congestion vector, so a codec that drops a lane, a scatter that
+//! reorders an inbox, or a plane-dependent byte charge is a hard failure, not
+//! a statistical blip.
+//!
+//! The matrix is [`plane_matrix`] — every [`backend_matrix`] cell crossed with
+//! both planes — so the suite also re-pins the boxed plane while it is at it,
+//! and registering a workload (see `congest_workloads::registry`) is what
+//! enrols it here.
+//!
+//! [`backend_matrix`]: congest_apsp::workloads::configs::backend_matrix
+
+use congest_apsp::engine::{ExecutorConfig, MessagePlane};
+use congest_apsp::workloads::{configs::plane_matrix, find, registry};
+
+#[test]
+fn registry_identical_across_planes_and_backends() {
+    let configs = plane_matrix();
+    for w in registry() {
+        // Build once per workload; every (backend, plane) cell runs the same
+        // input against the same boxed-sequential baseline.
+        let input = w.build();
+        let base = w
+            .run_built(&input, &ExecutorConfig::sequential())
+            .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", w.name()));
+        for (label, cfg) in &configs {
+            let run = w
+                .run_built(&input, cfg)
+                .unwrap_or_else(|e| panic!("{}: run under {label} failed: {e}", w.name()));
+            assert_eq!(base.output, run.output, "{}: outputs @ {label}", w.name());
+            assert_eq!(base.metrics, run.metrics, "{}: metrics @ {label}", w.name());
+        }
+    }
+}
+
+/// The fast tripwire run by name in CI's clippy job: one BCONGEST and one MST
+/// workload on the flat plane, sequential and 2 shards, against the boxed
+/// baseline. Red here means the flat plane regressed — no need to wait for
+/// the full matrix.
+#[test]
+fn flat_plane_smoke() {
+    for name in ["bfs/gnp", "mst/gnp"] {
+        let w = find(name).expect("registered workload");
+        let base = w
+            .run(&ExecutorConfig::sequential())
+            .expect("boxed sequential run");
+        for cfg in [
+            ExecutorConfig::sequential().with_plane(MessagePlane::Flat),
+            ExecutorConfig::sharded(2).with_plane(MessagePlane::Flat),
+        ] {
+            assert_eq!(base, w.run(&cfg).expect("flat run"), "{name}");
+        }
+    }
+}

@@ -8,7 +8,11 @@
 //! 3. **correctness** — every entry has a working differential oracle;
 //! 4. **cost** — sequential metrics stay inside the entry's declared
 //!    message/round envelope (where the paper gives a bound, it is enforced,
-//!    not just documented).
+//!    not just documented);
+//! 5. **memory** — every entry declares a bytes-per-message memory envelope
+//!    (engine-runner entries get the exact packed codec width `4 × LANES`
+//!    auto-filled; composites declare a bound on their charge mix), and the
+//!    measured `payload_bytes` average stays within it.
 
 use congest_apsp::engine::ExecutorConfig;
 use congest_apsp::workloads::{find, registry, FAMILIES};
@@ -62,6 +66,31 @@ fn metrics_stay_inside_declared_envelopes() {
         w.envelope()
             .check(&run.metrics)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+    }
+}
+
+#[test]
+fn every_entry_declares_and_meets_its_memory_envelope() {
+    for w in registry() {
+        let env = w.envelope();
+        let bytes = env
+            .max_message_bytes
+            .unwrap_or_else(|| panic!("{}: no memory envelope declared", w.name()));
+        assert!(
+            bytes > 0 && bytes <= 64,
+            "{}: implausible memory envelope of {bytes} bytes/message",
+            w.name()
+        );
+        let run = w
+            .run(&ExecutorConfig::sequential())
+            .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", w.name()));
+        assert!(
+            run.metrics.payload_bytes <= bytes * run.metrics.messages,
+            "{}: {} payload bytes over {} messages break the {bytes}-byte/message envelope",
+            w.name(),
+            run.metrics.payload_bytes,
+            run.metrics.messages
+        );
     }
 }
 
