@@ -15,6 +15,8 @@
 //!     [--quick] [--out BENCH_suite.json]
 //! cargo run --release -p congest-bench --bin experiments -- --bench-scale \
 //!     [--quick] [--out BENCH_scale.json]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-serve \
+//!     [--quick] [--out BENCH_serve.json]
 //! ```
 //!
 //! `--threads N` sets the process-wide executor default (0 = hardware threads):
@@ -38,12 +40,17 @@
 //! `--bench-scale` sweeps the message planes (boxed vs flat, sequential and
 //! parallel backends; see `congest_bench::scale_bench`) over BFS/gossip/MST on
 //! sparse graphs at 10⁵–10⁶ nodes, asserting byte-identical outcomes, written
-//! to `BENCH_scale.json`.
+//! to `BENCH_scale.json`. `--bench-serve` drives a `congest_serve`
+//! DistanceOracle with the deterministic closed-loop rps-ramp load generator
+//! (uniform/hot-key/k-NN/batch scenario mixes, cold vs warmed cache; see
+//! `congest_bench::serve_bench`), differential-checking every served answer,
+//! written to `BENCH_serve.json`.
 
 use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
 use congest_bench::mst_bench::{run_mst_bench, MstBenchConfig};
 use congest_bench::scale_bench::{run_scale_bench, ScaleBenchConfig};
+use congest_bench::serve_bench::{run_serve_bench, ServeBenchConfig};
 use congest_bench::shard_bench::{run_shard_bench, ShardBenchConfig};
 use congest_bench::suite_bench::{run_suite_bench, SuiteBenchConfig};
 
@@ -139,6 +146,37 @@ fn main() {
             }
         }
         println!("all outcomes identical across planes and backends");
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-serve") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+        let cfg = if quick {
+            ServeBenchConfig::quick(seed)
+        } else {
+            ServeBenchConfig::full(seed)
+        };
+        let report = run_serve_bench(&cfg);
+        println!(
+            "serve-oracle: n = {}, m = {}, cache {} | source build: {} messages, {} rounds",
+            report.n, report.m, report.cache_capacity, report.build_messages, report.build_rounds
+        );
+        for sc in &report.scenarios {
+            println!(
+                "{} ({}):",
+                sc.scenario,
+                if sc.warmed { "warm" } else { "cold" }
+            );
+            for st in &sc.steps {
+                println!(
+                    "  target {:>6} rps -> achieved {:>9.1} rps | p50 {:>7.2} us | p95 {:>7.2} us | p99 {:>7.2} us | hit rate {:>5.3} | {} answers checked",
+                    st.target_rps, st.achieved_rps, st.p50_us, st.p95_us, st.p99_us, st.hit_rate(), st.checked
+                );
+            }
+        }
+        println!("every served answer matched the sequential reference");
         std::fs::write(&out, report.to_json()).expect("write bench json");
         println!("wrote {out}");
         return;

@@ -17,12 +17,16 @@
 //! message-plane scale bench behind `BENCH_scale.json`: BFS/gossip/MST at
 //! 10⁵–10⁶ nodes, boxed vs flat plane, behind `--bench-scale` — workload
 //! setup itself lives in `congest-workloads`, so these modules only own
-//! sweeps and report schemas.
+//! sweeps and report schemas. [`serve_bench`] is the serving suite behind
+//! `BENCH_serve.json`: a `congest_serve::DistanceOracle` under the
+//! deterministic closed-loop rps-ramp load generator (every answer
+//! differential-checked), behind `--bench-serve`.
 
 pub mod engine_bench;
 pub mod experiments;
 pub mod mst_bench;
 pub mod scale_bench;
+pub mod serve_bench;
 pub mod shard_bench;
 pub mod suite_bench;
 pub mod table;

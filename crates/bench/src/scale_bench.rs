@@ -26,7 +26,7 @@
 //! (`host_threads` is recorded).
 
 use crate::suite_bench::timed_sweep;
-use congest_engine::{ExecutorConfig, MessagePlane};
+use congest_engine::{DeliveryBackend, ExecutorConfig, MessagePlane};
 use congest_workloads::{make, Workload};
 
 /// Sizes and repetitions for one [`run_scale_bench`] invocation.
@@ -78,19 +78,35 @@ fn plane_configs() -> Vec<(String, ExecutorConfig)> {
     vec![
         (
             "sequential/boxed".to_string(),
-            ExecutorConfig::sequential().with_plane(MessagePlane::Boxed),
+            ExecutorConfig::builder()
+                .threads(1)
+                .backend(DeliveryBackend::Sequential)
+                .plane(MessagePlane::Boxed)
+                .build(),
         ),
         (
             "sequential/flat".to_string(),
-            ExecutorConfig::sequential().with_plane(MessagePlane::Flat),
+            ExecutorConfig::builder()
+                .threads(1)
+                .backend(DeliveryBackend::Sequential)
+                .plane(MessagePlane::Flat)
+                .build(),
         ),
         (
             "chunked-hw/flat".to_string(),
-            ExecutorConfig::with_threads(0).with_plane(MessagePlane::Flat),
+            ExecutorConfig::builder()
+                .threads(0)
+                .backend(DeliveryBackend::Chunked)
+                .plane(MessagePlane::Flat)
+                .build(),
         ),
         (
             "sharded-4/flat".to_string(),
-            ExecutorConfig::sharded(4).with_plane(MessagePlane::Flat),
+            ExecutorConfig::builder()
+                .threads(4)
+                .backend(DeliveryBackend::Sharded { shards: 4 })
+                .plane(MessagePlane::Flat)
+                .build(),
         ),
     ]
 }

@@ -1,0 +1,284 @@
+//! The serving-suite bench behind `BENCH_serve.json`: a [`DistanceOracle`]
+//! over Theorem 1.1 weighted APSP, driven by the deterministic closed-loop
+//! load generator of `congest_serve::loadgen` — an Internet-Computer-style
+//! request-rate ramp (`initial_rps` → `target_rps`) over scenario mixes
+//! (uniform and hot-key-skewed point lookups, k-NN, batches; cold vs warmed
+//! cache), reporting p50/p95/p99 service latency, achieved rps and cache hit
+//! rates per step.
+//!
+//! **Every served answer is differential-checked** against the sequential
+//! all-pairs Dijkstra reference as it is served (the load generator panics on
+//! the first divergence), so a red perf-smoke job doubles as a serving-layer
+//! conformance tripwire. The query streams are pure functions of the seed;
+//! latencies and achieved rps are machine-dependent wall-clock
+//! (`host_threads` is recorded), like every other bench in the workspace.
+
+use apsp_core::weighted_apsp::{weighted_apsp, WeightedApspConfig};
+use congest_engine::{ExecutorConfig, MessagePlane};
+use congest_graph::{generators, WeightedGraph};
+use congest_serve::loadgen::{run_scenario, ExactReference, QueryMix, RampConfig, Scenario};
+use congest_serve::DistanceOracle;
+
+pub use congest_serve::loadgen::{ScenarioReport, StepReport};
+
+/// Graph size, cache size and ramp for one [`run_serve_bench`] invocation.
+#[derive(Clone, Debug)]
+pub struct ServeBenchConfig {
+    /// Master seed (same role as everywhere else in the workspace).
+    pub seed: u64,
+    /// Nodes of the `G(n, p)` source graph.
+    pub n: usize,
+    /// Edge probability of the source graph.
+    pub p: f64,
+    /// Oracle cache capacity (point/batched lookups).
+    pub cache_capacity: usize,
+    /// The request-rate ramp every scenario sweeps.
+    pub ramp: RampConfig,
+}
+
+impl ServeBenchConfig {
+    /// CI-sized configuration (a couple of seconds end to end).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            n: 48,
+            p: 0.15,
+            cache_capacity: 256,
+            ramp: RampConfig {
+                initial_rps: 2_000,
+                increment_rps: 6_000,
+                target_rps: 20_000,
+                step_duration_ms: 40,
+            },
+        }
+    }
+
+    /// The full configuration used for committed `BENCH_serve.json`
+    /// refreshes: a 96-node oracle under a 5k → 50k rps ramp.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            n: 96,
+            p: 0.12,
+            cache_capacity: 1_024,
+            ramp: RampConfig {
+                initial_rps: 5_000,
+                increment_rps: 15_000,
+                target_rps: 50_000,
+                step_duration_ms: 200,
+            },
+        }
+    }
+}
+
+/// The scenario mixes every serve bench sweeps: uniform and hot-key-skewed
+/// point lookups (each cold **and** warmed), k-NN, and two batch sizes.
+fn scenarios(n: usize) -> Vec<Scenario> {
+    let hot = (n / 8).max(1);
+    vec![
+        Scenario {
+            name: "uniform-cold".into(),
+            mix: QueryMix::Uniform,
+            warm_cache: false,
+        },
+        Scenario {
+            name: "uniform-warm".into(),
+            mix: QueryMix::Uniform,
+            warm_cache: true,
+        },
+        Scenario {
+            name: "hotkey-cold".into(),
+            mix: QueryMix::HotKey {
+                hot_nodes: hot,
+                hot_permille: 900,
+            },
+            warm_cache: false,
+        },
+        Scenario {
+            name: "hotkey-warm".into(),
+            mix: QueryMix::HotKey {
+                hot_nodes: hot,
+                hot_permille: 900,
+            },
+            warm_cache: true,
+        },
+        Scenario {
+            name: "knn-8".into(),
+            mix: QueryMix::Knn { k: 8 },
+            warm_cache: false,
+        },
+        Scenario {
+            name: "batch-4".into(),
+            mix: QueryMix::Batch { size: 4 },
+            warm_cache: false,
+        },
+        Scenario {
+            name: "batch-32".into(),
+            mix: QueryMix::Batch { size: 32 },
+            warm_cache: false,
+        },
+    ]
+}
+
+/// The full serve-bench outcome, serializable to `BENCH_serve.json`.
+#[derive(Clone, Debug)]
+pub struct ServeBenchReport {
+    /// Seed the source build and query streams ran with.
+    pub seed: u64,
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// Nodes of the source graph.
+    pub n: usize,
+    /// Edges of the source graph.
+    pub m: usize,
+    /// Oracle cache capacity.
+    pub cache_capacity: usize,
+    /// CONGEST messages the Theorem 1.1 source build spent.
+    pub build_messages: u64,
+    /// CONGEST rounds the source build spent.
+    pub build_rounds: u64,
+    /// One ramp per scenario mix.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// Builds the weighted-APSP oracle and sweeps every scenario over the ramp.
+/// The source is built through `ExecutorConfig::builder()` (flat plane,
+/// hardware threads — the build is conformant, so this only moves wall-clock).
+///
+/// # Panics
+///
+/// Panics if any served answer diverges from the sequential all-pairs
+/// Dijkstra reference — that is the point.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServeBenchReport {
+    let g = generators::gnp_connected(cfg.n, cfg.p, cfg.seed);
+    let wg = WeightedGraph::random_weights(&g, 1..=9, cfg.seed);
+    let exec = ExecutorConfig::builder()
+        .threads(0)
+        .plane(MessagePlane::Flat)
+        .build();
+    let run = weighted_apsp(
+        &wg,
+        &WeightedApspConfig {
+            seed: cfg.seed,
+            exec,
+            ..Default::default()
+        },
+    )
+    .expect("weighted APSP build");
+    let build_messages = run.metrics.messages;
+    let build_rounds = run.metrics.rounds;
+
+    let check = ExactReference::dijkstra(&wg);
+    let mut oracle = DistanceOracle::builder(run)
+        .cache_capacity(cfg.cache_capacity)
+        .build();
+    assert!(oracle.is_exact());
+
+    let scenarios = scenarios(cfg.n)
+        .iter()
+        .map(|sc| run_scenario(&mut oracle, sc, &cfg.ramp, cfg.seed, &check))
+        .collect();
+
+    ServeBenchReport {
+        seed: cfg.seed,
+        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        n: wg.n(),
+        m: wg.m(),
+        cache_capacity: cfg.cache_capacity,
+        build_messages,
+        build_rounds,
+        scenarios,
+    }
+}
+
+impl ServeBenchReport {
+    /// Serializes to the `BENCH_serve.json` schema (documented in
+    /// `docs/BENCHMARKING.md`). Hand-rolled: the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"serve-oracle\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str(&format!("  \"n\": {},\n", self.n));
+        s.push_str(&format!("  \"m\": {},\n", self.m));
+        s.push_str(&format!("  \"cache_capacity\": {},\n", self.cache_capacity));
+        s.push_str(&format!("  \"build_messages\": {},\n", self.build_messages));
+        s.push_str(&format!("  \"build_rounds\": {},\n", self.build_rounds));
+        s.push_str("  \"all_answers_checked\": true,\n");
+        s.push_str("  \"scenarios\": [\n");
+        for (si, sc) in self.scenarios.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", sc.scenario));
+            s.push_str(&format!("      \"warmed\": {},\n", sc.warmed));
+            s.push_str("      \"steps\": [\n");
+            for (ti, st) in sc.steps.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"target_rps\": {}, \"requests\": {}, \"achieved_rps\": {:.1}, \
+                     \"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}, \
+                     \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}, \"checked\": {}}}{}\n",
+                    st.target_rps,
+                    st.requests,
+                    st.achieved_rps,
+                    st.p50_us,
+                    st.p95_us,
+                    st.p99_us,
+                    st.hits,
+                    st.misses,
+                    st.hit_rate(),
+                    st.checked,
+                    if ti + 1 < sc.steps.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if si + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_serve_bench_checks_and_serializes() {
+        let cfg = ServeBenchConfig {
+            seed: 7,
+            n: 24,
+            p: 0.2,
+            cache_capacity: 64,
+            ramp: RampConfig {
+                initial_rps: 2_000,
+                increment_rps: 2_000,
+                target_rps: 6_000,
+                step_duration_ms: 15,
+            },
+        };
+        // `run_serve_bench` differential-checks every answer internally.
+        let report = run_serve_bench(&cfg);
+        assert_eq!(report.scenarios.len(), 7);
+        for sc in &report.scenarios {
+            assert_eq!(sc.steps.len(), 3);
+            for st in &sc.steps {
+                assert!(st.achieved_rps > 0.0);
+                assert_eq!(st.checked, st.lookups);
+            }
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve-oracle\""));
+        assert!(json.contains("uniform-cold"));
+        assert!(json.contains("batch-32"));
+        assert!(json.contains("\"all_answers_checked\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -17,6 +17,10 @@
 //!   minimum spanning trees over the controlled-GHS subsystem in `congest_algos`;
 //! * [`matching`] — **Corollary 2.8**: maximum bipartite matching in `Õ(n²)` msgs;
 //! * [`cover`] — **Corollary 2.9**: `(k,W)`-sparse neighborhood covers;
+//! * [`distance`] — the [`distance::DistanceSource`] trait unifying every
+//!   distance structure (APSP matrices, landmark sketches, BFS forests)
+//!   behind one exact-vs-estimate query signature — what `congest-serve`
+//!   serves;
 //! * [`verify`] — sequential oracles for all of the above.
 //!
 //! ## Example: the trade-off in one call
@@ -34,6 +38,7 @@
 
 pub mod bfs_trees;
 pub mod cover;
+pub mod distance;
 pub mod landmarks;
 pub mod matching;
 pub mod mst_tradeoff;

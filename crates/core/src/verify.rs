@@ -1,6 +1,86 @@
 //! Verification oracles used by tests, examples and the experiment harness.
+//!
+//! Distance answers are checked **generically** through
+//! [`crate::distance::DistanceSource`] — [`check_distance_source_weighted`]
+//! and [`check_distance_source_unweighted`] validate any source (exact
+//! matrices, landmark sketches, serving oracles) against the sequential
+//! references without pattern-matching concrete result structs; the
+//! matrix-shaped checkers below are thin adapters over them.
 
-use congest_graph::{reference, EdgeId, Graph, WeightedGraph};
+use crate::distance::{Distance, DistanceSource, MatrixSource};
+use congest_graph::{reference, EdgeId, Graph, NodeId, WeightedGraph};
+
+/// Validates one source answer against the reference distance for the pair.
+///
+/// Exact sources must reproduce the reference everywhere (including
+/// [`Distance::Unknown`] exactly on unreachable pairs); estimate sources must
+/// stay **admissible** — never below the true distance, and never an answer
+/// where no path exists.
+fn check_answer(s: usize, t: usize, got: Distance, want: Option<u64>) -> Result<(), String> {
+    match (got, want) {
+        (Distance::Exact(d), Some(w)) if d == w => Ok(()),
+        (Distance::Estimate(d), Some(w)) if d >= w => Ok(()),
+        (Distance::Unknown, None) => Ok(()),
+        (Distance::Unknown, Some(_)) => Ok(()), // estimates may not cover near pairs
+        _ => Err(format!("distance({s},{t}) = {got:?}, reference {want:?}")),
+    }
+}
+
+/// Checks every pair a [`DistanceSource`] answers against a reference
+/// `want[s][t]` matrix. Exact sources must match the reference exactly
+/// (`Unknown` only on unreachable pairs); estimate sources must be admissible
+/// upper bounds.
+fn check_source(src: &dyn DistanceSource, want: &[Vec<Option<u64>>]) -> Result<(), String> {
+    if src.n() != want.len() {
+        return Err(format!(
+            "source covers {} nodes, reference has {}",
+            src.n(),
+            want.len()
+        ));
+    }
+    for (s, row) in want.iter().enumerate() {
+        for (t, &cell) in row.iter().enumerate() {
+            let got = src.distance(NodeId::new(s), NodeId::new(t));
+            if src.is_exact() {
+                if got == Distance::Unknown && cell.is_some() {
+                    return Err(format!(
+                        "exact source does not cover reachable pair ({s},{t})"
+                    ));
+                }
+                if matches!(got, Distance::Estimate(_)) {
+                    return Err(format!("exact source answered an estimate for ({s},{t})"));
+                }
+            }
+            check_answer(s, t, got, cell)?;
+        }
+    }
+    Ok(())
+}
+
+/// Checks a [`DistanceSource`] against sequential all-pairs Dijkstra.
+///
+/// # Errors
+///
+/// Returns the first violating `(source, target)` pair.
+pub fn check_distance_source_weighted(
+    wg: &WeightedGraph,
+    src: &dyn DistanceSource,
+) -> Result<(), String> {
+    check_source(src, &reference::all_pairs_dijkstra(wg))
+}
+
+/// Checks a [`DistanceSource`] against sequential all-pairs BFS.
+///
+/// # Errors
+///
+/// Returns the first violating `(source, target)` pair.
+pub fn check_distance_source_unweighted(g: &Graph, src: &dyn DistanceSource) -> Result<(), String> {
+    let want: Vec<Vec<Option<u64>>> = reference::all_pairs_bfs(g)
+        .into_iter()
+        .map(|row| row.into_iter().map(|d| d.map(u64::from)).collect())
+        .collect();
+    check_source(src, &want)
+}
 
 /// Checks an unweighted APSP answer (`dist[v][s]`) against sequential all-pairs BFS.
 ///
@@ -8,38 +88,21 @@ use congest_graph::{reference, EdgeId, Graph, WeightedGraph};
 ///
 /// Returns the first mismatching `(source, node)` pair.
 pub fn check_unweighted_apsp(g: &Graph, dist: &[Vec<Option<u32>>]) -> Result<(), String> {
-    let want = reference::all_pairs_bfs(g);
-    for v in 0..g.n() {
-        for s in 0..g.n() {
-            if dist[v][s] != want[s][v] {
-                return Err(format!(
-                    "dist({s},{v}) = {:?}, want {:?}",
-                    dist[v][s], want[s][v]
-                ));
-            }
-        }
-    }
-    Ok(())
+    let widened: Vec<Vec<Option<u64>>> = dist
+        .iter()
+        .map(|row| row.iter().map(|d| d.map(u64::from)).collect())
+        .collect();
+    check_distance_source_unweighted(g, &MatrixSource::new(&widened))
 }
 
-/// Checks a weighted APSP answer against sequential all-pairs Dijkstra.
+/// Checks a weighted APSP answer (`dist[v][s]`) against sequential all-pairs
+/// Dijkstra.
 ///
 /// # Errors
 ///
 /// Returns the first mismatching `(source, node)` pair.
 pub fn check_weighted_apsp(wg: &WeightedGraph, dist: &[Vec<Option<u64>>]) -> Result<(), String> {
-    let want = reference::all_pairs_dijkstra(wg);
-    for v in 0..wg.n() {
-        for s in 0..wg.n() {
-            if dist[v][s] != want[s][v] {
-                return Err(format!(
-                    "dist({s},{v}) = {:?}, want {:?}",
-                    dist[v][s], want[s][v]
-                ));
-            }
-        }
-    }
-    Ok(())
+    check_distance_source_weighted(wg, &MatrixSource::new(dist))
 }
 
 /// Checks that `edges` is exactly the minimum spanning forest of `wg` under the

@@ -128,7 +128,59 @@ impl Default for ExecutorConfig {
     }
 }
 
+/// Fluent builder for [`ExecutorConfig`] —
+/// `ExecutorConfig::builder().threads(t).backend(b).plane(p).build()`.
+///
+/// Starts from [`ExecutorConfig::default`] (the process-wide default thread
+/// count, chunked delivery, boxed plane); every setter overrides one knob.
+/// The shorthand constructors ([`ExecutorConfig::sequential`],
+/// [`ExecutorConfig::with_threads`], [`ExecutorConfig::sharded`]) and the
+/// `with_*` combinators remain as thin equivalents — existing call sites
+/// compile unchanged.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfigBuilder {
+    cfg: ExecutorConfig,
+}
+
+impl ExecutorConfigBuilder {
+    /// Sets the worker thread count (`1` = sequential, `0` = one per
+    /// hardware thread).
+    #[must_use]
+    pub const fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Sets the delivery backend.
+    #[must_use]
+    pub const fn backend(mut self, backend: DeliveryBackend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Sets the message plane.
+    #[must_use]
+    pub const fn plane(mut self, plane: MessagePlane) -> Self {
+        self.cfg.message_plane = plane;
+        self
+    }
+
+    /// Finalizes the configuration.
+    #[must_use]
+    pub fn build(self) -> ExecutorConfig {
+        self.cfg
+    }
+}
+
 impl ExecutorConfig {
+    /// Starts a fluent [`ExecutorConfigBuilder`] from the default
+    /// configuration.
+    pub fn builder() -> ExecutorConfigBuilder {
+        ExecutorConfigBuilder {
+            cfg: ExecutorConfig::default(),
+        }
+    }
+
     /// The sequential executor (`threads = 1`, inline delivery).
     pub const fn sequential() -> Self {
         Self {
@@ -357,6 +409,33 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_matches_shorthand_constructors() {
+        assert_eq!(ExecutorConfig::builder().build(), ExecutorConfig::default());
+        assert_eq!(
+            ExecutorConfig::builder()
+                .threads(1)
+                .backend(DeliveryBackend::Sequential)
+                .build(),
+            ExecutorConfig::sequential()
+        );
+        assert_eq!(
+            ExecutorConfig::builder().threads(4).build(),
+            ExecutorConfig::with_threads(4)
+        );
+        assert_eq!(
+            ExecutorConfig::builder()
+                .threads(4)
+                .backend(DeliveryBackend::Sharded { shards: 4 })
+                .build(),
+            ExecutorConfig::sharded(4)
+        );
+        assert_eq!(
+            ExecutorConfig::builder().plane(MessagePlane::Flat).build(),
+            ExecutorConfig::default().with_plane(MessagePlane::Flat)
+        );
+    }
 
     fn cfgs() -> Vec<ExecutorConfig> {
         vec![

@@ -80,7 +80,7 @@ pub use bcongest::{
 };
 pub use congest::{run_congest, CongestAlgorithm, CongestRun};
 pub use error::EngineError;
-pub use exec::{DeliveryBackend, ExecutorConfig, MessagePlane};
+pub use exec::{DeliveryBackend, ExecutorConfig, ExecutorConfigBuilder, MessagePlane};
 pub use metrics::Metrics;
 pub use plane::{FlatPlane, RoundPlane};
 pub use shard::ShardPlan;

@@ -386,6 +386,39 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         3,
     ));
 
+    // The serving layer (congest-serve): DistanceOracles over the paper's
+    // outputs, with the oracle's deterministic hit/miss accounting pinned in
+    // the conformance-compared output alongside the served answers. Three
+    // entries cover the three query paths: point+batched lookups over exact
+    // APSP, estimate-typed lookups over the §3.3 landmark sketch, and
+    // k-nearest-by-distance ordering.
+    entries.push(crate::make::serve_apsp(
+        "gnp".to_string(),
+        || {
+            let g = generators::gnp_connected(20, 0.2, 29);
+            BuiltInput::weighted(WeightedGraph::random_weights(&g, 1..=9, 29))
+        },
+        48,
+        29,
+    ));
+    entries.push(crate::make::serve_landmarks(
+        "gnp".to_string(),
+        || BuiltInput::unweighted(generators::gnp_connected(24, 0.15, 31)),
+        0.25,
+        48,
+        31,
+    ));
+    entries.push(crate::make::serve_knn(
+        "gnp".to_string(),
+        || {
+            let g = generators::gnp_connected(18, 0.25, 37);
+            BuiltInput::weighted(WeightedGraph::random_weights(&g, 1..=9, 37))
+        },
+        4,
+        8,
+        37,
+    ));
+
     // The LDC decomposition of Definition 2.3/Lemma 2.4 (from congest-decomp):
     // a distributed MPX clustering plus the sparse inter-cluster edge set F,
     // validated against the definition's (r, d) bounds.

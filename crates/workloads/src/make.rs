@@ -8,6 +8,8 @@
 
 use crate::catalogue::{bcongest_entry, check_bfs_shape, composite_entry, congest_entry};
 use crate::{BuiltInput, MetricsEnvelope, Workload};
+use apsp_core::distance::Distance;
+use apsp_core::landmarks::landmark_distances_with;
 use apsp_core::mst_tradeoff::mst_tradeoff_with;
 use apsp_core::verify::{check_mst, check_weighted_apsp};
 use apsp_core::weighted_apsp::{weighted_apsp as run_weighted_apsp, WeightedApspConfig};
@@ -15,7 +17,9 @@ use congest_algos::bfs::Bfs;
 use congest_algos::bfs_collection::{dists_of_bfs, BfsCollection};
 use congest_algos::gossip::{expected_gossip, GossipOnce};
 use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
-use congest_graph::{generators, reference, NodeId, WeightedGraph};
+use congest_graph::{generators, reference, rng, NodeId, WeightedGraph};
+use congest_serve::loadgen::{AnswerCheck, ExactReference};
+use congest_serve::DistanceOracle;
 
 /// Single-source BFS from node 0. Every node broadcasts at most once, so the
 /// envelope is `messages ≤ Σ deg = 2m`, `rounds ≤ n + 2`.
@@ -210,6 +214,183 @@ pub fn weighted_apsp(
         |input, value| check_weighted_apsp(&input.weighted_graph(), &value.0),
         // The Theorem 2.1 simulation mixes 4-byte transport words with
         // multi-word upcast/downcast charges; 16 bytes/message bounds the mix.
+        |_| MetricsEnvelope::unbounded().with_message_bytes(16),
+    )
+}
+
+// --- serving-layer entries (congest-serve) -----------------------------------
+
+/// Deterministic uniform point-query stream for the serve entries:
+/// `queries` `(s, t)` pairs drawn from `seed`, independent of the executor.
+fn serve_query_stream(n: usize, queries: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    use rand::Rng;
+    let mut r = rng::seeded(rng::derive(seed, 0x5e7e_0001));
+    (0..queries)
+        .map(|_| {
+            (
+                NodeId::new(r.random_range(0..n)),
+                NodeId::new(r.random_range(0..n)),
+            )
+        })
+        .collect()
+}
+
+/// Point + batched lookups against a [`DistanceOracle`] over Theorem 1.1
+/// weighted APSP. The workload's output is the served answers *plus* the
+/// oracle's deterministic [`congest_serve::ServeMetrics`], so the conformance
+/// suites pin the cache's hit/miss accounting byte-for-byte alongside the
+/// answers; the oracle checker replays every answer against the sequential
+/// all-pairs Dijkstra reference. Expects a weighted input.
+pub fn serve_apsp(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    queries: usize,
+    seed: u64,
+) -> Box<dyn Workload> {
+    composite_entry(
+        "serve-apsp",
+        family,
+        seed,
+        build,
+        move |input, cfg| {
+            let wg = input.weighted_graph();
+            let run = run_weighted_apsp(
+                &wg,
+                &WeightedApspConfig {
+                    seed,
+                    exec: cfg.clone(),
+                    ..Default::default()
+                },
+            )?;
+            let metrics = run.metrics.clone();
+            let mut oracle = DistanceOracle::builder(run).cache_capacity(32).build();
+            let stream = serve_query_stream(wg.n(), queries, seed);
+            let (head, tail) = stream.split_at(stream.len() / 2);
+            let mut answers: Vec<(NodeId, NodeId, Distance)> = head
+                .iter()
+                .map(|&(s, t)| (s, t, oracle.lookup(s, t)))
+                .collect();
+            // The second half goes through the batched path — same cache, same
+            // counters, so conformance covers both entry points.
+            answers.extend(
+                tail.iter()
+                    .zip(oracle.lookup_batch(tail))
+                    .map(|(&(s, t), d)| (s, t, d)),
+            );
+            Ok(((answers, oracle.metrics().clone()), metrics))
+        },
+        |input, value| {
+            let check = ExactReference::dijkstra(&input.weighted_graph());
+            for &(s, t, d) in &value.0 {
+                check.check_point(s, t, d)?;
+            }
+            Ok(())
+        },
+        // The oracle only reads the APSP result; the envelope is the
+        // simulation's own (multi-word upcast/downcast mix, 16-byte bound).
+        |_| MetricsEnvelope::unbounded().with_message_bytes(16),
+    )
+}
+
+/// Point lookups against an oracle over the §3.3 landmark sketch — the
+/// **estimate**-typed serving path. Answers must be admissible upper bounds
+/// on the true distance (and `Unknown` only where the sketch has no covering
+/// landmark), checked against sequential all-pairs BFS.
+pub fn serve_landmarks(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    p: f64,
+    queries: usize,
+    seed: u64,
+) -> Box<dyn Workload> {
+    composite_entry(
+        "serve-landmarks",
+        family,
+        seed,
+        build,
+        move |input, cfg| {
+            let run = landmark_distances_with(&input.graph, p, seed, cfg)?;
+            let metrics = run.metrics.clone();
+            let mut oracle = DistanceOracle::builder(run).cache_capacity(32).build();
+            let answers: Vec<(NodeId, NodeId, Distance)> =
+                serve_query_stream(input.graph.n(), queries, seed)
+                    .into_iter()
+                    .map(|(s, t)| (s, t, oracle.lookup(s, t)))
+                    .collect();
+            Ok(((answers, oracle.metrics().clone()), metrics))
+        },
+        |input, value| {
+            let want = reference::all_pairs_bfs(&input.graph);
+            for &(s, t, d) in &value.0 {
+                match (d, want[s.index()][t.index()]) {
+                    (Distance::Exact(_), _) => {
+                        return Err(format!(
+                            "landmark oracle served an Exact answer for ({s:?},{t:?})"
+                        ))
+                    }
+                    (Distance::Estimate(e), Some(true_d)) if e < u64::from(true_d) => {
+                        return Err(format!(
+                            "estimate {e} for ({s:?},{t:?}) undercuts true distance {true_d}"
+                        ))
+                    }
+                    (Distance::Estimate(e), None) => {
+                        return Err(format!("estimate {e} for unreachable pair ({s:?},{t:?})"))
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        },
+        // The sketch is built from engine BFS runs (4-byte words) plus tree
+        // upcast/broadcast charges; 16 bytes/message bounds the mix.
+        |_| MetricsEnvelope::unbounded().with_message_bytes(16),
+    )
+}
+
+/// k-nearest-by-distance queries against the APSP oracle — the ordered query
+/// path, checked against the reference's `(distance, node id)` total order.
+/// Expects a weighted input.
+pub fn serve_knn(
+    family: String,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    k: usize,
+    sources: usize,
+    seed: u64,
+) -> Box<dyn Workload> {
+    composite_entry(
+        "serve-knn",
+        family,
+        seed,
+        build,
+        move |input, cfg| {
+            let wg = input.weighted_graph();
+            let run = run_weighted_apsp(
+                &wg,
+                &WeightedApspConfig {
+                    seed,
+                    exec: cfg.clone(),
+                    ..Default::default()
+                },
+            )?;
+            let metrics = run.metrics.clone();
+            let mut oracle = DistanceOracle::builder(run).build();
+            use rand::Rng;
+            let mut r = rng::seeded(rng::derive(seed, 0x5e7e_0002));
+            let answers: Vec<(NodeId, Vec<(NodeId, Distance)>)> = (0..sources)
+                .map(|_| {
+                    let s = NodeId::new(r.random_range(0..wg.n()));
+                    (s, oracle.k_nearest(s, k))
+                })
+                .collect();
+            Ok(((answers, oracle.metrics().clone()), metrics))
+        },
+        move |input, value| {
+            let check = ExactReference::dijkstra(&input.weighted_graph());
+            for (s, near) in &value.0 {
+                check.check_knn(*s, k, near)?;
+            }
+            Ok(())
+        },
         |_| MetricsEnvelope::unbounded().with_message_bytes(16),
     )
 }

@@ -15,7 +15,8 @@
 //!    ensembles of pruned Baswana–Sen cluster hierarchies and random-delay BFS scheduling.
 //!
 //! This facade crate re-exports the entire workspace. Start with [`apsp_core`] for the
-//! paper's algorithms, or [`engine`] / [`graph`] for the substrates.
+//! paper's algorithms, [`engine`] / [`graph`] for the substrates, or [`serve`] to query
+//! the computed outputs through a [`serve::DistanceOracle`].
 //!
 //! ## Quickstart
 //!
@@ -38,4 +39,9 @@ pub use congest_decomp as decomp;
 pub use congest_engine as engine;
 pub use congest_graph as graph;
 pub use congest_sched as sched;
+pub use congest_serve as serve;
 pub use congest_workloads as workloads;
+
+// The executor surface, importable without spelling out the engine path:
+// `congest_apsp::ExecutorConfig::builder().threads(8).backend(..).plane(..)`.
+pub use congest_engine::{DeliveryBackend, ExecutorConfig, ExecutorConfigBuilder, MessagePlane};

@@ -79,4 +79,40 @@ fn all_documented_reexport_paths_resolve() {
     let dist = reference::all_pairs_bfs(&g);
     congest_apsp::apsp_core::verify::check_unweighted_apsp(&g, &dist)
         .expect("oracle output validates against itself");
+
+    // serve (congest_serve): an oracle over the path graph's exact distances.
+    let want: Vec<Vec<Option<u64>>> = dist
+        .iter()
+        .map(|row| row.iter().map(|d| d.map(u64::from)).collect())
+        .collect();
+    let mut oracle: congest_apsp::serve::DistanceOracle<_> =
+        congest_apsp::serve::DistanceOracle::builder(
+            congest_apsp::apsp_core::distance::MatrixSource::new(&want),
+        )
+        .cache_capacity(8)
+        .build();
+    assert_eq!(
+        oracle.lookup(NodeId::new(0), NodeId::new(3)),
+        congest_apsp::serve::Distance::Exact(3)
+    );
+    assert_eq!(oracle.metrics().misses, 1);
+}
+
+/// The executor surface is importable from the facade root — the documented
+/// `congest_apsp::ExecutorConfig::builder()` path — and the builder agrees
+/// with the shorthand constructors it wraps.
+#[test]
+fn executor_surface_resolves_at_the_facade_root() {
+    use congest_apsp::{DeliveryBackend, ExecutorConfig, MessagePlane};
+
+    let built: ExecutorConfig = ExecutorConfig::builder()
+        .threads(4)
+        .backend(DeliveryBackend::Sharded { shards: 4 })
+        .plane(MessagePlane::Flat)
+        .build();
+    assert_eq!(
+        built,
+        ExecutorConfig::sharded(4).with_plane(MessagePlane::Flat)
+    );
+    let _: congest_apsp::ExecutorConfigBuilder = ExecutorConfig::builder();
 }
