@@ -12,7 +12,7 @@
 //! so [`expected_gossip`] replays the fold per node without running the engine
 //! at all. The registry uses it as the differential check.
 
-use congest_engine::{CongestAlgorithm, LocalView};
+use congest_engine::{CongestAlgorithm, LocalView, SurvivorMask};
 use congest_graph::{Graph, NodeId};
 
 /// The checksum multiplier (Knuth's MMIX LCG constant): any fixed odd constant
@@ -102,6 +102,35 @@ pub fn expected_gossip(g: &Graph) -> Vec<u64> {
         .collect()
 }
 
+/// The fault-aware oracle: what [`GossipOnce`] outputs at every **live** node
+/// after a [`congest_engine::FaultResponse::Restart`] plan whose last fault
+/// fires at `round`.
+///
+/// Restart wipes all live state at each fault round, so the final checksum is
+/// exactly one masked exchange folded at the last fault round: node `v` hears
+/// `(u, u)` for each neighbor `u` whose edge the mask
+/// [allows](SurvivorMask::allows), in ascending ID order. Crashed nodes keep
+/// frozen (unspecified) state — the oracle returns `None` for them and the
+/// differential check skips them.
+pub fn expected_gossip_masked(g: &Graph, mask: &SurvivorMask, round: usize) -> Vec<Option<u64>> {
+    g.nodes()
+        .map(|v| {
+            if !mask.node_up[v.index()] {
+                return None;
+            }
+            let mut senders: Vec<NodeId> = g
+                .incident(v)
+                .filter(|&(e, _)| mask.allows(g, e))
+                .map(|(_, u)| u)
+                .collect();
+            senders.sort_unstable();
+            Some(senders.into_iter().fold(u64::from(v.raw()), |heard, u| {
+                fold(heard, u, u.raw(), round)
+            }))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +151,38 @@ mod tests {
             // Exactly one message per edge direction.
             assert_eq!(run.metrics.messages, 2 * g.m() as u64);
         }
+    }
+
+    #[test]
+    fn masked_oracle_matches_restarted_faulty_run() {
+        use congest_engine::{FaultEvent, FaultPlan, FaultResponse};
+        let g = generators::gnp_connected(24, 0.2, 5);
+        // A crash at round 0 and an edge lost at round 2: the round-2 restart
+        // re-gossips on the doubly-masked topology.
+        let plan = FaultPlan::new(FaultResponse::Restart)
+            .at(0, FaultEvent::Crash(NodeId::new(5)))
+            .at(2, FaultEvent::EdgeDown(congest_graph::EdgeId::new(0)));
+        let mask = plan.final_mask(&g);
+        let last = plan.last_fault_round().unwrap();
+        let opts = RunOptions {
+            faults: Some(plan),
+            ..RunOptions::default()
+        };
+        let run = run_congest(&GossipOnce, &g, None, &opts).unwrap();
+        let want = expected_gossip_masked(&g, &mask, last);
+        for v in g.nodes() {
+            if let Some(w) = want[v.index()] {
+                assert_eq!(run.outputs[v.index()], w, "checksum at {v:?}");
+            }
+        }
+        assert!(run.metrics.dropped_messages > 0);
+        // All-up mask at round 0 degenerates to the fault-free oracle.
+        let all_up = SurvivorMask::all_up(&g);
+        let base: Vec<u64> = expected_gossip_masked(&g, &all_up, 0)
+            .into_iter()
+            .map(Option::unwrap)
+            .collect();
+        assert_eq!(base, expected_gossip(&g));
     }
 
     #[test]

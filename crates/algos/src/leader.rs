@@ -131,6 +131,15 @@ impl BcongestAlgorithm for LeaderElect {
     fn output_words(&self, _out: &LeaderOutput) -> usize {
         1
     }
+
+    /// Self-heal: the topology changed, so the node's current best may now be
+    /// beatable (a new edge arrived) or need re-announcing to a freshly
+    /// re-initialized neighbor — re-arm the flood. Sound under *additive*
+    /// churn (edges coming up): min-ID flooding is monotone, so re-flooding
+    /// from current bests converges to the full-graph election.
+    fn on_fault(&self, s: &mut LeaderState, _round: usize) {
+        s.dirty = true;
+    }
 }
 
 /// The result of network preprocessing: an elected leader, its BFS tree, and the cost
@@ -244,6 +253,51 @@ mod tests {
             setup.metrics.messages
         );
         assert!(setup.metrics.rounds >= u64::from(setup.tree.depth()));
+    }
+
+    #[test]
+    fn self_heals_under_up_only_edge_churn() {
+        use congest_engine::{FaultEvent, FaultPlan, FaultResponse};
+        let g = generators::path(6);
+        let clean = run_bcongest(&LeaderElect, &g, None, &RunOptions::default()).unwrap();
+        // The 2–3 bridge is down from the start and comes up at round 6, after
+        // both halves have quiesced on their local minima; `on_fault` re-arms
+        // the flood and the election converges to the full-graph result.
+        let bridge = g
+            .edge_between(NodeId::new(2), NodeId::new(3))
+            .expect("path edge");
+        let opts = RunOptions {
+            faults: Some(
+                FaultPlan::new(FaultResponse::SelfHeal)
+                    .at(0, FaultEvent::EdgeDown(bridge))
+                    .at(6, FaultEvent::EdgeUp(bridge)),
+            ),
+            ..RunOptions::default()
+        };
+        let healed = run_bcongest(&LeaderElect, &g, None, &opts).unwrap();
+        assert_eq!(healed.outputs, clean.outputs);
+        assert!(healed.metrics.dropped_messages > 0, "round-0 sends dropped");
+        assert!(healed.metrics.rounds > clean.metrics.rounds);
+    }
+
+    #[test]
+    fn restart_elects_per_component_minima_after_crashes() {
+        use congest_engine::faults::masked_components;
+        use congest_engine::{FaultEvent, FaultPlan, FaultResponse};
+        let g = generators::path(7);
+        let plan = FaultPlan::new(FaultResponse::Restart).at(0, FaultEvent::Crash(NodeId::new(3)));
+        let mask = plan.final_mask(&g);
+        let opts = RunOptions {
+            faults: Some(plan),
+            ..RunOptions::default()
+        };
+        let run = run_bcongest(&LeaderElect, &g, None, &opts).unwrap();
+        let want = masked_components(&g, &mask);
+        for v in g.nodes() {
+            if let Some(leader) = want[v.index()] {
+                assert_eq!(run.outputs[v.index()].leader, leader, "leader at {v:?}");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!     [--quick] [--out BENCH_scale.json]
 //! cargo run --release -p congest-bench --bin experiments -- --bench-serve \
 //!     [--quick] [--out BENCH_serve.json]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-faults \
+//!     [--quick] [--out BENCH_faults.json]
 //! ```
 //!
 //! `--threads N` sets the process-wide executor default (0 = hardware threads):
@@ -44,10 +46,14 @@
 //! DistanceOracle with the deterministic closed-loop rps-ramp load generator
 //! (uniform/hot-key/k-NN/batch scenario mixes, cold vs warmed cache; see
 //! `congest_bench::serve_bench`), differential-checking every served answer,
-//! written to `BENCH_serve.json`.
+//! written to `BENCH_serve.json`. `--bench-faults` runs the fault & scenario
+//! suite (every `faulty-*`/`skewed-*`/spanner registry entry; see
+//! `congest_bench::fault_bench`) under the backend sweep, records and replays
+//! a trace per scenario, and writes `BENCH_faults.json`.
 
 use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
+use congest_bench::fault_bench::{run_fault_bench, FaultBenchConfig};
 use congest_bench::mst_bench::{run_mst_bench, MstBenchConfig};
 use congest_bench::scale_bench::{run_scale_bench, ScaleBenchConfig};
 use congest_bench::serve_bench::{run_serve_bench, ServeBenchConfig};
@@ -208,6 +214,36 @@ fn main() {
         println!(
             "{} workloads, all outcomes identical across backends",
             report.workloads.len()
+        );
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-faults") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_faults.json".into());
+        let cfg = if quick {
+            FaultBenchConfig::quick()
+        } else {
+            FaultBenchConfig::full()
+        };
+        let report = run_fault_bench(&cfg);
+        for sc in &report.scenarios {
+            println!(
+                "{:<32} n = {:>4}, m = {:>5} | messages {:>8} | rounds {:>5} | dropped {:>6}",
+                sc.scenario, sc.n, sc.m, sc.messages, sc.rounds, sc.dropped_messages
+            );
+            for s in &sc.samples {
+                println!("  {:<12} {:>9.3} ms", s.backend, s.wall_ms);
+            }
+            println!(
+                "  trace: {} rounds, {} bytes | record {:.3} ms | replay {:.3} ms",
+                sc.trace_rounds, sc.trace_bytes, sc.record_ms, sc.replay_ms
+            );
+        }
+        println!(
+            "{} scenarios, all backends conformant, every trace replayed byte-identically",
+            report.scenarios.len()
         );
         std::fs::write(&out, report.to_json()).expect("write bench json");
         println!("wrote {out}");

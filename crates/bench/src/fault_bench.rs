@@ -1,0 +1,259 @@
+//! The fault & scenario bench behind `BENCH_faults.json`: every `faulty-*`,
+//! `skewed-*` and spanner scenario of the `congest_workloads` registry timed
+//! under every backend of the wall-clock sweep
+//! ([`congest_workloads::configs::bench_matrix`]), plus the cost of the
+//! replayable-trace layer itself (record, encode, replay).
+//!
+//! Scenario IDs are the stable registry names (`algorithm/family`), and every
+//! input is a deterministic seeded fixture, so two runs of this bench on any
+//! machine measure the same executions — wall-clock aside, the reports are
+//! byte-identical. Like [`crate::suite_bench`], the run **panics** if any
+//! backend diverges from the sequential baseline or any recorded trace fails
+//! to replay byte-identically, so the perf-smoke CI job doubles as a
+//! fault-conformance tripwire in release mode.
+
+use crate::suite_bench::timed_sweep;
+use congest_engine::ExecutorConfig;
+use congest_workloads::{configs, registry, replay, Workload};
+use std::time::Instant;
+
+/// Repetitions for one [`run_fault_bench`] invocation.
+#[derive(Clone, Debug)]
+pub struct FaultBenchConfig {
+    /// Timed repetitions per (scenario, backend) cell; `wall_ms` records the
+    /// minimum, damping scheduler noise.
+    pub reps: usize,
+}
+
+impl FaultBenchConfig {
+    /// CI-sized configuration (single repetition).
+    pub fn quick() -> Self {
+        Self { reps: 1 }
+    }
+
+    /// The full configuration used for committed `BENCH_faults.json`
+    /// refreshes.
+    pub fn full() -> Self {
+        Self { reps: 3 }
+    }
+}
+
+/// One timed execution of one scenario under one backend configuration.
+#[derive(Clone, Debug)]
+pub struct FaultSample {
+    /// Backend label from the bench matrix (`"sequential"`, `"chunked/hw"`,
+    /// `"sharded/4"`, …).
+    pub backend: String,
+    /// Minimum wall-clock over the repetitions, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// All measurements of one fault/skew scenario.
+#[derive(Clone, Debug)]
+pub struct FaultScenarioReport {
+    /// Stable scenario ID — the registry key (`algorithm/family`).
+    pub scenario: String,
+    /// Nodes of the (deterministic) fixture graph.
+    pub n: usize,
+    /// Edges of the fixture graph.
+    pub m: usize,
+    /// Exact message count — asserted identical across all backends.
+    pub messages: u64,
+    /// Exact round count — asserted identical across all backends.
+    pub rounds: u64,
+    /// Messages dropped by fault injection — exact and backend-independent.
+    pub dropped_messages: u64,
+    /// Recorded rounds with any activity in the sequential trace.
+    pub trace_rounds: usize,
+    /// Size of the JSONL-encoded trace, bytes.
+    pub trace_bytes: usize,
+    /// Wall-clock of one traced (recording) sequential run, milliseconds.
+    pub record_ms: f64,
+    /// Wall-clock of one full replay (re-execute + conformance check),
+    /// milliseconds.
+    pub replay_ms: f64,
+    /// One sample per backend configuration, sequential first.
+    pub samples: Vec<FaultSample>,
+}
+
+/// The full fault-bench outcome, serializable to `BENCH_faults.json`.
+#[derive(Clone, Debug)]
+pub struct FaultBenchReport {
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// Per-scenario measurements, in registry order.
+    pub scenarios: Vec<FaultScenarioReport>,
+}
+
+/// The scenario slice of the registry: every fault-injected, skew-topology
+/// and spanner entry, in registry order.
+pub fn scenario_entries() -> Vec<Box<dyn Workload>> {
+    registry()
+        .into_iter()
+        .filter(|w| {
+            let a = w.algorithm();
+            a.starts_with("faulty-") || a.starts_with("skewed-") || a == "baswana-sen-spanner"
+        })
+        .collect()
+}
+
+/// Benches one scenario: the backend sweep via [`timed_sweep`], then one
+/// timed traced run and one timed replay of the resulting log.
+///
+/// # Panics
+///
+/// Panics if any backend's outcome diverges from the sequential baseline, or
+/// the recorded trace fails to replay byte-identically.
+pub fn bench_scenario(
+    w: &dyn Workload,
+    backends: &[(String, ExecutorConfig)],
+    reps: usize,
+) -> FaultScenarioReport {
+    let input = w.build();
+    let (base, wall) = timed_sweep(w, &input, backends, reps);
+
+    let start = Instant::now();
+    let (_, trace) = w
+        .run_traced(&ExecutorConfig::sequential())
+        .unwrap_or_else(|e| panic!("{}: traced run failed: {e}", w.name()));
+    let record_ms = start.elapsed().as_secs_f64() * 1e3;
+    let jsonl = trace.to_jsonl();
+
+    let start = Instant::now();
+    replay(&trace).unwrap_or_else(|e| panic!("{}: replay diverged: {e}", w.name()));
+    let replay_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    FaultScenarioReport {
+        scenario: w.name(),
+        n: input.graph.n(),
+        m: input.graph.m(),
+        messages: base.metrics.messages,
+        rounds: base.metrics.rounds,
+        dropped_messages: base.metrics.dropped_messages,
+        trace_rounds: trace.rounds.len(),
+        trace_bytes: jsonl.len(),
+        record_ms,
+        replay_ms,
+        samples: backends
+            .iter()
+            .zip(wall)
+            .map(|((label, _), wall_ms)| FaultSample {
+                backend: label.clone(),
+                wall_ms,
+            })
+            .collect(),
+    }
+}
+
+/// Runs every fault/skew scenario under every backend of
+/// [`configs::bench_matrix`], with a traced run and a replay per scenario.
+///
+/// # Panics
+///
+/// Panics on any conformance or replay divergence.
+pub fn run_fault_bench(cfg: &FaultBenchConfig) -> FaultBenchReport {
+    let backends = configs::bench_matrix();
+    FaultBenchReport {
+        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
+        scenarios: scenario_entries()
+            .iter()
+            .map(|w| bench_scenario(w.as_ref(), &backends, cfg.reps))
+            .collect(),
+    }
+}
+
+impl FaultBenchReport {
+    /// Serializes to the `BENCH_faults.json` schema (documented in
+    /// `docs/BENCHMARKING.md`). Hand-rolled: the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"fault-scenarios\",\n");
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str(&format!(
+            "  \"scenario_count\": {},\n",
+            self.scenarios.len()
+        ));
+        s.push_str("  \"scenarios\": [\n");
+        for (si, sc) in self.scenarios.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"scenario\": \"{}\",\n", sc.scenario));
+            s.push_str(&format!("      \"n\": {},\n", sc.n));
+            s.push_str(&format!("      \"m\": {},\n", sc.m));
+            s.push_str(&format!("      \"messages\": {},\n", sc.messages));
+            s.push_str(&format!("      \"rounds\": {},\n", sc.rounds));
+            s.push_str(&format!(
+                "      \"dropped_messages\": {},\n",
+                sc.dropped_messages
+            ));
+            s.push_str(&format!("      \"trace_rounds\": {},\n", sc.trace_rounds));
+            s.push_str(&format!("      \"trace_bytes\": {},\n", sc.trace_bytes));
+            s.push_str(&format!("      \"record_ms\": {:.3},\n", sc.record_ms));
+            s.push_str(&format!("      \"replay_ms\": {:.3},\n", sc.replay_ms));
+            s.push_str("      \"replay_conformant\": true,\n");
+            s.push_str("      \"samples\": [\n");
+            for (i, smp) in sc.samples.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"backend\": \"{}\", \"wall_ms\": {:.3}}}{}\n",
+                    smp.backend,
+                    smp.wall_ms,
+                    if i + 1 < sc.samples.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if si + 1 < self.scenarios.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_workloads::find;
+
+    #[test]
+    fn scenario_slice_is_nonempty_and_stable() {
+        let ids: Vec<String> = scenario_entries().iter().map(|w| w.name()).collect();
+        assert!(ids.len() >= 9, "scenario slice too thin: {ids:?}");
+        assert!(ids.contains(&"faulty-bfs/gnp-crash".to_string()));
+        assert!(ids.contains(&"skewed-bfs/power-law-wide".to_string()));
+        assert!(ids.contains(&"baswana-sen-spanner/gnp".to_string()));
+        let again: Vec<String> = scenario_entries().iter().map(|w| w.name()).collect();
+        assert_eq!(ids, again, "scenario IDs must be stable");
+    }
+
+    #[test]
+    fn single_scenario_bench_replays_and_serializes() {
+        // One cheap scenario through the full machinery (the whole slice runs
+        // in the perf-smoke job; tests keep it to one entry).
+        let w = find("faulty-gossip/gnp-crash").expect("registered scenario");
+        let report = FaultBenchReport {
+            host_threads: 1,
+            scenarios: vec![bench_scenario(
+                w.as_ref(),
+                &congest_workloads::configs::bench_matrix(),
+                1,
+            )],
+        };
+        let sc = &report.scenarios[0];
+        assert_eq!(sc.scenario, "faulty-gossip/gnp-crash");
+        assert_eq!(sc.samples.len(), 5);
+        assert_eq!(sc.samples[0].backend, "sequential");
+        assert!(sc.dropped_messages > 0, "fault plan never bit");
+        assert!(sc.trace_bytes > 0 && sc.trace_rounds > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"fault-scenarios\""));
+        assert!(json.contains("\"replay_conformant\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -20,10 +20,14 @@
 //! sweeps and report schemas. [`serve_bench`] is the serving suite behind
 //! `BENCH_serve.json`: a `congest_serve::DistanceOracle` under the
 //! deterministic closed-loop rps-ramp load generator (every answer
-//! differential-checked), behind `--bench-serve`.
+//! differential-checked), behind `--bench-serve`. [`fault_bench`] is the fault
+//! & scenario suite behind `BENCH_faults.json`: every `faulty-*`/`skewed-*`
+//! registry scenario under the backend sweep plus the record/replay cost of
+//! the trace layer, behind `--bench-faults`.
 
 pub mod engine_bench;
 pub mod experiments;
+pub mod fault_bench;
 pub mod mst_bench;
 pub mod scale_bench;
 pub mod serve_bench;

@@ -16,12 +16,14 @@
 
 use crate::error::EngineError;
 use crate::exec::{self, ExecutorConfig};
+use crate::faults::{FaultEvent, FaultPlan, FaultResponse, FaultState};
 use crate::metrics::Metrics;
 use crate::plane::RoundPlane;
 use crate::shard;
 use crate::view::LocalView;
 use crate::wire::{Wire, WireDecode};
 use congest_graph::{rng, EdgeId, Graph, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A BCONGEST algorithm as a pure per-node state machine.
 ///
@@ -88,6 +90,13 @@ pub trait BcongestAlgorithm {
 
     /// Size of one node's output in words (`Out = Σ_v output_words`).
     fn output_words(&self, out: &Self::Output) -> usize;
+
+    /// Fault-response hook for [`FaultResponse::SelfHeal`] plans: called on
+    /// every live node at the start of a fault round, right after the round's
+    /// events applied (freshly recovered nodes are re-initialized instead).
+    /// Default: no-op — only algorithms that actually self-stabilize (e.g.
+    /// leader election re-arming its flood) override this.
+    fn on_fault(&self, _state: &mut Self::State, _round: usize) {}
 }
 
 /// An aggregation-based BCONGEST algorithm (Definition 3.1).
@@ -124,6 +133,10 @@ pub struct RunOptions {
     /// byte-identical at every thread count; `threads = 1` (the default) is the
     /// sequential path.
     pub exec: ExecutorConfig,
+    /// Optional fault-injection schedule (see [`crate::faults`]). `None`
+    /// (the default) runs fault-free. Faulty runs stay byte-identical across
+    /// every backend × plane configuration.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Result of a direct BCONGEST execution.
@@ -199,21 +212,33 @@ where
     let n = g.n();
     let cfg = &opts.exec;
     let mut metrics = Metrics::new(g.m());
-    let mut states: Vec<A::State> = exec::map_ranges(cfg, n, |range| {
-        range
-            .map(|i| {
-                let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
-                algo.init(&view)
-            })
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let init_node = |i: usize| {
+        let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
+        algo.init(&view)
+    };
+    let mut states: Vec<A::State> =
+        exec::map_ranges(cfg, n, |range| range.map(init_node).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect();
 
-    let limit = opts
-        .max_rounds
-        .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);
+    if let Some(plan) = &opts.faults {
+        if let Err(e) = plan.validate(g) {
+            panic!("invalid FaultPlan: {e}");
+        }
+    }
+    let mut fault_rt: Option<FaultState<'_>> =
+        opts.faults.as_ref().map(|plan| FaultState::new(plan, g));
+
+    let base_limit = 4 * algo.round_bound(n, g.m()) + 64;
+    let limit = opts.max_rounds.unwrap_or_else(|| match &opts.faults {
+        // Every fault round can restart the algorithm from scratch, so the
+        // guard scales with the number of fault rounds.
+        Some(plan) => {
+            (plan.fault_rounds().len() + 1) * base_limit + plan.last_fault_round().unwrap_or(0)
+        }
+        None => base_limit,
+    });
 
     let mut plane: RoundPlane<A::Msg> = RoundPlane::new(cfg, n);
     let mut round: usize = 0;
@@ -227,10 +252,46 @@ where
             });
         }
 
+        // 0. Apply fault events due this round, then the response policy.
+        //    This runs sequentially before any phase fans out, so faulty runs
+        //    stay byte-identical across the whole backend × plane matrix.
+        if let Some(fs) = fault_rt.as_mut() {
+            let fired = fs.apply_due(round);
+            if !fired.is_empty() {
+                match fs.response() {
+                    FaultResponse::Restart => {
+                        for (i, st) in states.iter_mut().enumerate() {
+                            if fs.mask.node_up[i] {
+                                *st = init_node(i);
+                            }
+                        }
+                    }
+                    FaultResponse::SelfHeal => {
+                        for ev in &fired {
+                            if let FaultEvent::Recover(v) = ev {
+                                states[v.index()] = init_node(v.index());
+                            }
+                        }
+                        for (i, st) in states.iter_mut().enumerate() {
+                            if fs.mask.node_up[i] {
+                                algo.on_fault(st, round);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         // 1. Collect broadcasts (pure reads, chunked over nodes; concatenating
         //    per-chunk batches in chunk order reproduces the sequential node
-        //    order exactly), then apply send transitions.
-        let broadcasters: Vec<(NodeId, A::Msg)> = shard::collect_sends(cfg, &states, |_i, st| {
+        //    order exactly), then apply send transitions. Crashed nodes send
+        //    nothing.
+        let broadcasters: Vec<(NodeId, A::Msg)> = shard::collect_sends(cfg, &states, |i, st| {
+            if let Some(fs) = &fault_rt {
+                if !fs.mask.node_up[i] {
+                    return None;
+                }
+            }
             let msg = algo.broadcast(st, round);
             if let Some(m) = &msg {
                 debug_assert_eq!(
@@ -249,14 +310,26 @@ where
         //    configured backend — inline pushes, chunk-order-merged outboxes,
         //    or sharded mailboxes with batched cross-shard queues. Each inbox
         //    receives messages in broadcaster order under every backend, so
-        //    the paths are indistinguishable.
+        //    the paths are indistinguishable. Messages over down edges or to
+        //    crashed receivers are dropped at the single expansion point both
+        //    planes share — never delivered, never charged, only counted
+        //    (`u64` addition commutes, so the count is thread-order-free).
         metrics.broadcasts += broadcasters.len() as u64;
+        let dropped = AtomicU64::new(0);
+        let fault_mask = fault_rt.as_ref().map(|fs| &fs.mask);
         let expand = |v: NodeId, msg: &A::Msg, sink: &mut dyn FnMut(NodeId, EdgeId, A::Msg)| {
             for (e, u) in g.incident(v) {
+                if let Some(mask) = fault_mask {
+                    if !mask.edge_up[e.index()] || !mask.node_up[u.index()] {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
                 sink(u, e, msg.clone());
             }
         };
         plane.deliver(cfg, &broadcasters, &expand, &mut metrics);
+        metrics.dropped_messages += dropped.load(Ordering::Relaxed);
 
         // 3. Receive: per-node state transitions, sharded with their inboxes.
         //    With an observer attached the phase stays sequential so the
@@ -279,7 +352,29 @@ where
             round += 1;
             continue;
         }
-        let next = exec::min_chunks(cfg, &states, |st| algo.next_activity(st, round + 1));
+        // Crashed nodes claim no activity (their frozen state may still be
+        // "dirty"), so with faults active the min runs sequentially with node
+        // indices — a pure min, identical at every thread count. The idle
+        // skip also never jumps past a scheduled fault round.
+        let next_alg = if let Some(fs) = &fault_rt {
+            states
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| fs.mask.node_up[i])
+                .filter_map(|(_, st)| algo.next_activity(st, round + 1))
+                .min()
+        } else {
+            exec::min_chunks(cfg, &states, |st| algo.next_activity(st, round + 1))
+        };
+        let next_fault = fault_rt
+            .as_ref()
+            .and_then(|fs| fs.next_fault_round())
+            .map(|r| r.max(round + 1));
+        let next = match (next_alg, next_fault) {
+            (Some(a), Some(f)) => Some(a.min(f)),
+            (a, None) => a,
+            (None, f) => f,
+        };
         match next {
             Some(r) => {
                 debug_assert!(r > round, "next_activity must move forward");
@@ -417,6 +512,75 @@ mod tests {
         let g = generators::path(3);
         let err = run_bcongest(&Chatter, &g, None, &RunOptions::default()).unwrap_err();
         assert!(matches!(err, EngineError::RoundLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn faults_freeze_crashed_nodes_and_restart_the_rest() {
+        use crate::exec::MessagePlane;
+        use crate::faults::{FaultEvent, FaultPlan, FaultResponse};
+
+        // Path 0-1-2-3-4: node 2 crashes at round 1, cutting the path in two.
+        let g = generators::path(5);
+        let plan = FaultPlan::new(FaultResponse::Restart).at(1, FaultEvent::Crash(NodeId::new(2)));
+        let opts = RunOptions {
+            faults: Some(plan.clone()),
+            ..Default::default()
+        };
+        let run = run_bcongest(&MinFlood, &g, None, &opts).expect("faulty run");
+        // Live components converge to their own minimum id.
+        assert_eq!(run.outputs[0], 0);
+        assert_eq!(run.outputs[1], 0);
+        assert_eq!(run.outputs[3], 3);
+        assert_eq!(run.outputs[4], 3);
+        // Node 2 is frozen at its end-of-round-0 state (it had heard 1).
+        assert_eq!(run.outputs[2], 1);
+        // Neighbors of the corpse keep talking into the void at the restart.
+        assert!(run.metrics.dropped_messages > 0);
+
+        // The faulty run is conformant across backends and planes.
+        for exec in [
+            ExecutorConfig::with_threads(4),
+            ExecutorConfig::sharded(2),
+            ExecutorConfig::sequential().with_plane(MessagePlane::Flat),
+            ExecutorConfig::sharded(3).with_plane(MessagePlane::Flat),
+        ] {
+            let alt = run_bcongest(
+                &MinFlood,
+                &g,
+                None,
+                &RunOptions {
+                    faults: Some(plan.clone()),
+                    exec,
+                    ..Default::default()
+                },
+            )
+            .expect("faulty run (alt config)");
+            assert_eq!(alt.outputs, run.outputs);
+            assert_eq!(alt.metrics, run.metrics);
+        }
+    }
+
+    #[test]
+    fn churned_edges_recover_and_heal() {
+        use crate::faults::{FaultPlan, FaultResponse};
+
+        // Down half the cycle's edges for rounds 0..3, then bring them back
+        // with a Restart response: the final restart reruns MinFlood on the
+        // full cycle, so everyone still converges to 0.
+        let g = generators::cycle(8);
+        let plan = FaultPlan::edge_churn(&g, 4, 0, 3, 9, FaultResponse::Restart);
+        let run = run_bcongest(
+            &MinFlood,
+            &g,
+            None,
+            &RunOptions {
+                faults: Some(plan),
+                ..Default::default()
+            },
+        )
+        .expect("churned run");
+        assert!(run.outputs.iter().all(|&o| o == 0));
+        assert!(run.metrics.dropped_messages > 0);
     }
 
     #[test]

@@ -9,12 +9,14 @@
 
 use crate::error::EngineError;
 use crate::exec;
+use crate::faults::{FaultEvent, FaultResponse, FaultState};
 use crate::metrics::Metrics;
 use crate::plane::RoundPlane;
 use crate::shard;
 use crate::view::LocalView;
 use crate::wire::{Wire, WireDecode};
 use congest_graph::{rng, EdgeId, Graph, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A CONGEST algorithm as a pure per-node state machine with per-edge sends.
 ///
@@ -57,6 +59,10 @@ pub trait CongestAlgorithm {
     }
     /// Round guard bound.
     fn round_bound(&self, n: usize, m: usize) -> usize;
+    /// Fault-response hook for [`crate::FaultResponse::SelfHeal`] plans:
+    /// called on every live node at the start of a fault round (recovered
+    /// nodes are re-initialized instead). Default: no-op.
+    fn on_fault(&self, _state: &mut Self::State, _round: usize) {}
 }
 
 /// Result of a CONGEST execution.
@@ -86,23 +92,73 @@ where
     A::State: Send + Sync,
     A::Msg: Send + Sync,
 {
+    run_congest_inner(algo, g, weights, opts, None)
+}
+
+/// Like [`run_congest`], but invokes `observe(node, round, inbox)` for every
+/// non-empty inbox — the CONGEST counterpart of
+/// [`crate::run_bcongest_observed`], used by the trace recorder. Observers see
+/// inboxes in node order: the receive phase runs sequentially when one is
+/// attached (the other phases still honor `opts.exec`).
+pub fn run_congest_observed<A, F>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    opts: &crate::RunOptions,
+    mut observe: F,
+) -> Result<CongestRun<A::Output>, EngineError>
+where
+    A: CongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    F: FnMut(NodeId, usize, &[(NodeId, A::Msg)]),
+{
+    run_congest_inner(algo, g, weights, opts, Some(&mut observe))
+}
+
+/// The round loop behind both entry points; mirrors `run_bcongest_inner`
+/// phase for phase (including fault application — see [`crate::faults`]).
+#[allow(clippy::type_complexity)]
+fn run_congest_inner<A>(
+    algo: &A,
+    g: &Graph,
+    weights: Option<&[u64]>,
+    opts: &crate::RunOptions,
+    mut observer: Option<&mut dyn FnMut(NodeId, usize, &[(NodeId, A::Msg)])>,
+) -> Result<CongestRun<A::Output>, EngineError>
+where
+    A: CongestAlgorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     let n = g.n();
     let cfg = &opts.exec;
     let mut metrics = Metrics::new(g.m());
-    let mut states: Vec<A::State> = exec::map_ranges(cfg, n, |range| {
-        range
-            .map(|i| {
-                let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
-                algo.init(&view)
-            })
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    let limit = opts
-        .max_rounds
-        .unwrap_or_else(|| 4 * algo.round_bound(n, g.m()) + 64);
+    let init_node = |i: usize| {
+        let view = LocalView::new(g, weights, NodeId::new(i), rng::node_seed(opts.seed, i));
+        algo.init(&view)
+    };
+    let mut states: Vec<A::State> =
+        exec::map_ranges(cfg, n, |range| range.map(init_node).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect();
+
+    if let Some(plan) = &opts.faults {
+        if let Err(e) = plan.validate(g) {
+            panic!("invalid FaultPlan: {e}");
+        }
+    }
+    let mut fault_rt: Option<FaultState<'_>> =
+        opts.faults.as_ref().map(|plan| FaultState::new(plan, g));
+
+    let base_limit = 4 * algo.round_bound(n, g.m()) + 64;
+    let limit = opts.max_rounds.unwrap_or_else(|| match &opts.faults {
+        Some(plan) => {
+            (plan.fault_rounds().len() + 1) * base_limit + plan.last_fault_round().unwrap_or(0)
+        }
+        None => base_limit,
+    });
 
     let mut plane: RoundPlane<A::Msg> = RoundPlane::new(cfg, n);
     let mut round = 0usize;
@@ -114,11 +170,45 @@ where
                 limit,
             });
         }
+        // 0. Fault events due this round, then the response policy (mirrors
+        //    the BCONGEST runner exactly).
+        if let Some(fs) = fault_rt.as_mut() {
+            let fired = fs.apply_due(round);
+            if !fired.is_empty() {
+                match fs.response() {
+                    FaultResponse::Restart => {
+                        for (i, st) in states.iter_mut().enumerate() {
+                            if fs.mask.node_up[i] {
+                                *st = init_node(i);
+                            }
+                        }
+                    }
+                    FaultResponse::SelfHeal => {
+                        for ev in &fired {
+                            if let FaultEvent::Recover(v) = ev {
+                                states[v.index()] = init_node(v.index());
+                            }
+                        }
+                        for (i, st) in states.iter_mut().enumerate() {
+                            if fs.mask.node_up[i] {
+                                algo.on_fault(st, round);
+                            }
+                        }
+                    }
+                }
+            }
+        }
         type SendBatch<M> = Vec<(NodeId, M)>;
         // Pure per-node send scans, chunked over nodes; concatenating the
         // per-chunk batches in chunk order reproduces the sequential order.
+        // Crashed nodes send nothing.
         let all_sends: Vec<(NodeId, SendBatch<A::Msg>)> =
-            shard::collect_sends(cfg, &states, |_i, st| {
+            shard::collect_sends(cfg, &states, |i, st| {
+                if let Some(fs) = &fault_rt {
+                    if !fs.mask.node_up[i] {
+                        return None;
+                    }
+                }
                 let sends = algo.sends(st, round);
                 (!sends.is_empty()).then_some(sends)
             });
@@ -130,6 +220,10 @@ where
         // `edge_between` lookups are the hot part of the expansion): inline
         // pushes, chunk-order-merged outboxes, or sharded mailboxes with
         // batched cross-shard queues — inbox order is sender order either way.
+        // Messages over down edges or to crashed receivers drop here, at the
+        // single expansion point both planes share.
+        let dropped = AtomicU64::new(0);
+        let fault_mask = fault_rt.as_ref().map(|fs| &fs.mask);
         let expand = |v: NodeId,
                       sends: &Vec<(NodeId, A::Msg)>,
                       sink: &mut dyn FnMut(NodeId, EdgeId, A::Msg)| {
@@ -141,20 +235,55 @@ where
                 debug_assert!(!used.contains(&e), "two messages on one edge in one round");
                 used.push(e);
                 debug_assert_eq!(m.words(), 1, "CONGEST messages are single words");
+                if let Some(mask) = fault_mask {
+                    if !mask.edge_up[e.index()] || !mask.node_up[u.index()] {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
                 sink(*u, e, m.clone());
             }
         };
         plane.deliver(cfg, &all_sends, &expand, &mut metrics);
-        // Per-node receive transitions, sharded with their inboxes.
-        let any_received = plane.receive(cfg, &mut states, |st, inbox| {
-            algo.receive(st, round, inbox);
-        });
+        metrics.dropped_messages += dropped.load(Ordering::Relaxed);
+        // Per-node receive transitions, sharded with their inboxes. With an
+        // observer attached the phase stays sequential so the callback sees
+        // inboxes in node order.
+        let any_received = if let Some(obs) = observer.as_mut() {
+            plane.receive_each_seq(&mut states, |i, st, inbox| {
+                obs(NodeId::new(i), round, inbox);
+                algo.receive(st, round, inbox);
+            })
+        } else {
+            plane.receive(cfg, &mut states, |st, inbox| {
+                algo.receive(st, round, inbox);
+            })
+        };
         if any_sent || any_received {
             rounds_used = round as u64 + 1;
             round += 1;
             continue;
         }
-        match exec::min_chunks(cfg, &states, |st| algo.next_activity(st, round + 1)) {
+        let next_alg = if let Some(fs) = &fault_rt {
+            states
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| fs.mask.node_up[i])
+                .filter_map(|(_, st)| algo.next_activity(st, round + 1))
+                .min()
+        } else {
+            exec::min_chunks(cfg, &states, |st| algo.next_activity(st, round + 1))
+        };
+        let next_fault = fault_rt
+            .as_ref()
+            .and_then(|fs| fs.next_fault_round())
+            .map(|r| r.max(round + 1));
+        let next = match (next_alg, next_fault) {
+            (Some(a), Some(f)) => Some(a.min(f)),
+            (a, None) => a,
+            (None, f) => f,
+        };
+        match next {
             Some(r) => round = r,
             None => break,
         }
@@ -249,6 +378,55 @@ mod tests {
         // Each edge carried exactly 3 messages.
         assert!(run.metrics.congestion().iter().all(|&c| c == 3));
         assert_eq!(run.outputs[0], 3);
+    }
+
+    #[test]
+    fn dropped_token_is_recovered_by_restart() {
+        use crate::faults::{FaultEvent, FaultPlan, FaultResponse};
+
+        let g = generators::cycle(6);
+        // Edge 0-1 is down until round 2: the token dies on its first hop,
+        // the ring goes quiet, and the restart at round 2 reruns the circuit.
+        let e = g
+            .edge_between(NodeId::new(0), NodeId::new(1))
+            .expect("cycle edge");
+        let plan = FaultPlan::new(FaultResponse::Restart)
+            .at(0, FaultEvent::EdgeDown(e))
+            .at(2, FaultEvent::EdgeUp(e));
+        let run = run_congest(
+            &RingToken { laps: 1 },
+            &g,
+            None,
+            &crate::RunOptions {
+                faults: Some(plan),
+                ..Default::default()
+            },
+        )
+        .expect("faulty ring run");
+        assert_eq!(run.outputs[0], 1, "restarted token completes its lap");
+        assert_eq!(run.metrics.dropped_messages, 1, "the first hop was lost");
+        assert_eq!(run.metrics.messages, 6, "drops are not charged");
+    }
+
+    #[test]
+    fn observer_reports_congest_inboxes_in_node_order() {
+        let g = generators::cycle(5);
+        let mut seen: Vec<(u32, usize)> = Vec::new();
+        let run = run_congest_observed(
+            &RingToken { laps: 1 },
+            &g,
+            None,
+            &crate::RunOptions::default(),
+            |v, r, inbox| {
+                assert!(!inbox.is_empty());
+                seen.push((v.raw(), r));
+            },
+        )
+        .expect("observed ring run");
+        assert_eq!(run.outputs[0], 1);
+        // One delivery per hop, five hops.
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0], (1, 0), "first hop lands at node 1 in round 0");
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! * [`plane`] / [`MessagePlane`] — pluggable round-buffer representations
 //!   (boxed per-node mailboxes vs the flat packed-arena plane whose
 //!   steady-state rounds are allocation-free), also byte-identical;
+//! * [`faults`] / [`FaultPlan`] — seeded, deterministic fault injection (edge
+//!   churn, node crash/recovery with message-drop semantics) threaded through
+//!   both runners under every backend × plane combination;
+//! * [`trace`] / [`TraceLog`] — per-round execution recording (sends,
+//!   deliveries, fault events, metric deltas) with JSONL/DOT export and a
+//!   replay path that re-executes a recorded run and checks byte equality;
 //! * [`Metrics`] — composable cost accounting;
 //! * [`Wire`] — message sizes in `O(log n)`-bit words, with
 //!   [`WireEncode`]/[`WireDecode`] packing fixed-width payloads into `u32`
@@ -66,10 +72,12 @@ mod bcongest;
 mod congest;
 mod error;
 pub mod exec;
+pub mod faults;
 mod metrics;
 pub mod plane;
 pub mod router;
 pub mod shard;
+pub mod trace;
 pub mod treeops;
 mod view;
 mod wire;
@@ -78,12 +86,14 @@ pub use bcongest::{
     run_bcongest, run_bcongest_observed, AggregationAlgorithm, BcongestAlgorithm, BcongestRun,
     RunOptions,
 };
-pub use congest::{run_congest, CongestAlgorithm, CongestRun};
+pub use congest::{run_congest, run_congest_observed, CongestAlgorithm, CongestRun};
 pub use error::EngineError;
 pub use exec::{DeliveryBackend, ExecutorConfig, ExecutorConfigBuilder, MessagePlane};
+pub use faults::{FaultEvent, FaultPlan, FaultResponse, SurvivorMask};
 pub use metrics::Metrics;
 pub use plane::{FlatPlane, RoundPlane};
 pub use shard::ShardPlan;
+pub use trace::TraceLog;
 pub use treeops::{
     broadcast, broadcast_with, convergecast, convergecast_with, downcast, downcast_budgeted,
     downcast_with, upcast, upcast_budgeted, upcast_with, BroadcastOutcome, ConvergecastOutcome,

@@ -32,6 +32,13 @@ pub struct Metrics {
     /// message planes, so the field is plane-independent and participates in
     /// conformance equality.
     pub payload_bytes: u64,
+    /// Messages suppressed by fault injection (down edges / crashed
+    /// endpoints): a send the expansion produced but the network dropped.
+    /// Dropped messages are **not** charged to [`Metrics::messages`],
+    /// [`Metrics::payload_bytes`] or the congestion vector — they never
+    /// crossed an edge — but the count participates in conformance equality
+    /// like every other field. Always 0 for fault-free runs.
+    pub dropped_messages: u64,
     congestion: Vec<u64>,
 }
 
@@ -43,6 +50,7 @@ impl Metrics {
             messages: 0,
             broadcasts: 0,
             payload_bytes: 0,
+            dropped_messages: 0,
             congestion: vec![0; m],
         }
     }
@@ -118,6 +126,7 @@ impl Metrics {
         self.messages += other.messages;
         self.broadcasts += other.broadcasts;
         self.payload_bytes += other.payload_bytes;
+        self.dropped_messages += other.dropped_messages;
         for (a, b) in self.congestion.iter_mut().zip(&other.congestion) {
             *a += b;
         }
@@ -135,6 +144,7 @@ impl Metrics {
         self.messages += other.messages;
         self.broadcasts += other.broadcasts;
         self.payload_bytes += other.payload_bytes;
+        self.dropped_messages += other.dropped_messages;
         for (a, b) in self.congestion.iter_mut().zip(&other.congestion) {
             *a += b;
         }

@@ -234,6 +234,66 @@ pub fn random_regularish(n: usize, d: usize, seed: u64) -> Graph {
     b.build()
 }
 
+/// Preferential-attachment power-law graph (Barabási–Albert flavour): nodes
+/// arrive one at a time and attach to `attach` distinct existing nodes chosen
+/// proportionally to degree (sampled from the stub list, so early nodes become
+/// hubs). Always connected; degree distribution is heavy-tailed — the skewed
+/// family where per-node fan-out is maximally unbalanced across shards.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `attach == 0`.
+pub fn power_law(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "power_law needs at least 2 nodes");
+    assert!(attach >= 1, "each arrival must attach somewhere");
+    let mut r = seeded(derive(seed, 0x706f_7701));
+    let mut b = GraphBuilder::new(n);
+    // One entry per edge endpoint: sampling uniformly from `stubs` is sampling
+    // nodes proportionally to their current degree.
+    let mut stubs: Vec<usize> = vec![0, 1];
+    b.add_edge(0, 1);
+    for v in 2..n {
+        let want = attach.min(v);
+        let mut targets: Vec<usize> = Vec::with_capacity(want);
+        while targets.len() < want {
+            let t = stubs[r.random_range(0..stubs.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            stubs.push(v);
+            stubs.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Hub-and-spoke topology: `hubs` hub nodes forming a clique, each carrying
+/// `spokes_per_hub` degree-1 leaves (leaf `j` hangs off hub `j % hubs`).
+/// Total nodes: `hubs * (1 + spokes_per_hub)`; hubs are nodes `0..hubs`.
+/// Deterministic by construction (no randomness). The extreme skew case:
+/// almost all traffic funnels through the hub clique.
+///
+/// # Panics
+///
+/// Panics if `hubs == 0`.
+pub fn hub_and_spoke(hubs: usize, spokes_per_hub: usize) -> Graph {
+    assert!(hubs >= 1, "need at least one hub");
+    let n = hubs * (1 + spokes_per_hub);
+    let mut edges = Vec::new();
+    for h in 0..hubs {
+        for h2 in (h + 1)..hubs {
+            edges.push((h, h2));
+        }
+    }
+    for s in 0..hubs * spokes_per_hub {
+        edges.push((s % hubs, hubs + s));
+    }
+    Graph::from_edges(n, &edges)
+}
+
 /// The lower-bound-flavoured family from Abboud–Censor-Hillel–Khoury \[1\]-style
 /// constructions: a sparse core of two node sets with a perfect matching "bit gadget"
 /// bridged by a path. Used here simply as a sparse, high-diameter stress instance.
@@ -365,6 +425,33 @@ mod tests {
         let g = random_regularish(30, 4, 1);
         assert!(reference::is_connected(&g));
         assert!(g.max_degree() <= 6);
+    }
+
+    #[test]
+    fn power_law_is_connected_skewed_and_deterministic() {
+        for &(n, attach) in &[(56usize, 2usize), (256, 3)] {
+            let g = power_law(n, attach, 21);
+            assert_eq!(g.n(), n);
+            assert!(reference::is_connected(&g));
+            // Heavy tail: the hubbiest node dominates the attachment floor.
+            assert!(g.max_degree() >= 3 * attach);
+            assert_eq!(g, power_law(n, attach, 21), "seeded determinism");
+        }
+        assert_ne!(power_law(56, 2, 21), power_law(56, 2, 22));
+    }
+
+    #[test]
+    fn hub_and_spoke_shape() {
+        let g = hub_and_spoke(4, 6);
+        assert_eq!(g.n(), 4 * 7);
+        // Clique edges + one edge per leaf.
+        assert_eq!(g.m(), 4 * 3 / 2 + 4 * 6);
+        assert!(reference::is_connected(&g));
+        // Every hub carries its clique links plus its share of leaves.
+        for h in 0..4 {
+            assert_eq!(g.degree(crate::NodeId::new(h)), 3 + 6);
+        }
+        assert_eq!(g, hub_and_spoke(4, 6), "structural determinism");
     }
 
     #[test]

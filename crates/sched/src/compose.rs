@@ -14,7 +14,8 @@
 //!   simulations would be redundant — the schedule length is exactly the theorem's
 //!   bound applied to realized (not worst-case) quantities. See DESIGN.md §2.
 
-use congest_engine::Metrics;
+use congest_engine::faults::FaultState;
+use congest_engine::{FaultPlan, FaultResponse, Metrics};
 use congest_graph::{rng, EdgeId, Graph};
 use rand::seq::SliceRandom;
 
@@ -57,10 +58,35 @@ pub struct Composed {
 /// algorithm whose next recorded round fits in the remaining capacity. Preserves
 /// each algorithm's internal round order.
 pub fn compose_traces(g: &Graph, traces: &[Trace], seed: u64) -> Composed {
+    compose_traces_faulty(g, traces, &FaultPlan::new(FaultResponse::Restart), seed)
+}
+
+/// [`compose_traces`] under a fault schedule: a directed edge can only be
+/// granted in a global round where the plan's topology mask allows it (edge up,
+/// both endpoints live — [`congest_engine::SurvivorMask::allows`]). Events
+/// apply at the start of each global round, exactly like in the runners.
+///
+/// An algorithm whose next recorded round needs an unusable edge is held back
+/// whole (preserving its internal round order). If no algorithm can advance
+/// and a future fault round could change the mask, the schedule idles forward
+/// to it; if the mask is final, the remaining recorded messages can never be
+/// delivered and are charged to [`Metrics::dropped_messages`] instead.
+///
+/// With an empty plan this is exactly [`compose_traces`] (which delegates
+/// here), including the seeded priority order.
+///
+/// # Panics
+///
+/// Panics if the plan fails [`FaultPlan::validate`].
+pub fn compose_traces_faulty(g: &Graph, traces: &[Trace], plan: &FaultPlan, seed: u64) -> Composed {
+    if let Err(e) = plan.validate(g) {
+        panic!("invalid FaultPlan: {e}");
+    }
     let mut metrics = Metrics::new(g.m());
     let dilation = traces.iter().map(Trace::dilation).max().unwrap_or(0);
 
-    // Static congestion: total demand per directed edge.
+    // Static congestion: total demand per directed edge (fault-blind — demand
+    // exists whether or not the network can serve it).
     let mut demand = vec![0u64; 2 * g.m()];
     for t in traces {
         for round in &t.rounds {
@@ -71,6 +97,7 @@ pub fn compose_traces(g: &Graph, traces: &[Trace], seed: u64) -> Composed {
     }
     let congestion = demand.iter().copied().max().unwrap_or(0);
 
+    let mut fault = FaultState::new(plan, g);
     let mut r = rng::seeded(rng::derive(seed, 0xc0de_0003));
     let mut next_round: Vec<usize> = vec![0; traces.len()];
     let mut live: Vec<usize> = (0..traces.len())
@@ -78,32 +105,55 @@ pub fn compose_traces(g: &Graph, traces: &[Trace], seed: u64) -> Composed {
         .collect();
     let mut used = vec![0u8; 2 * g.m()];
     let mut rounds: u64 = 0;
+    let mut dropped: u64 = 0;
 
     while !live.is_empty() {
+        fault.apply_due(rounds as usize);
         rounds += 1;
         used.fill(0);
         live.shuffle(&mut r);
+        let mut advanced = false;
         let mut still_live = Vec::with_capacity(live.len());
         for &j in &live {
             let wanted = &traces[j].rounds[next_round[j]];
-            let fits = wanted
-                .iter()
-                .all(|&(e, dir)| used[2 * e.index() + usize::from(dir)] == 0);
+            let fits = wanted.iter().all(|&(e, dir)| {
+                used[2 * e.index() + usize::from(dir)] == 0 && fault.mask.allows(g, e)
+            });
             if fits {
                 for &(e, dir) in wanted {
                     used[2 * e.index() + usize::from(dir)] = 1;
                     metrics.add_messages(e, 1);
                 }
                 next_round[j] += 1;
+                advanced = true;
             }
             if next_round[j] < traces[j].rounds.len() {
                 still_live.push(j);
             }
         }
         live = still_live;
+        if !advanced && !live.is_empty() {
+            match fault.next_fault_round() {
+                // Stalled on unusable edges: idle forward to the round where
+                // the mask next changes. (`apply_due` has consumed everything
+                // at or before the current round, so this strictly advances.)
+                Some(nf) => rounds = rounds.max(nf as u64),
+                // The mask is final and still blocks every remaining round:
+                // those messages are undeliverable — charge them as dropped.
+                None => {
+                    for &j in &live {
+                        for round in &traces[j].rounds[next_round[j]..] {
+                            dropped += round.len() as u64;
+                        }
+                    }
+                    live.clear();
+                }
+            }
+        }
     }
 
     metrics.rounds = rounds;
+    metrics.dropped_messages = dropped;
     Composed {
         rounds,
         congestion,
@@ -266,6 +316,67 @@ mod tests {
         let c = compose_traces(&g, &[Trace::default()], 0);
         assert_eq!(c.rounds, 0);
         assert_eq!(c.metrics.messages, 0);
+    }
+
+    #[test]
+    fn faulty_compose_with_empty_plan_matches_plain() {
+        let g = generators::gnp_connected(25, 0.15, 5);
+        let traces: Vec<Trace> = (0..5)
+            .map(|i| {
+                let algo = Bfs::new(NodeId::new(i * 3));
+                record_bcongest_trace(&algo, &g, None, &RunOptions::default())
+                    .unwrap()
+                    .1
+            })
+            .collect();
+        let plain = compose_traces(&g, &traces, 13);
+        let faulty =
+            compose_traces_faulty(&g, &traces, &FaultPlan::new(FaultResponse::SelfHeal), 13);
+        assert_eq!(plain.rounds, faulty.rounds);
+        assert_eq!(plain.congestion, faulty.congestion);
+        assert_eq!(plain.dilation, faulty.dilation);
+        assert_eq!(plain.metrics, faulty.metrics);
+        assert_eq!(faulty.metrics.dropped_messages, 0);
+    }
+
+    #[test]
+    fn downed_edge_delays_admission_until_recovery() {
+        use congest_engine::FaultEvent;
+        let g = generators::path(2);
+        let t = single_edge_trace(EdgeId::new(0), 2);
+        let plan = FaultPlan::new(FaultResponse::SelfHeal)
+            .at(0, FaultEvent::EdgeDown(EdgeId::new(0)))
+            .at(3, FaultEvent::EdgeUp(EdgeId::new(0)));
+        let c = compose_traces_faulty(&g, &[t], &plan, 2);
+        // Blocked at round 0, idles to the recovery round 3, then two rounds.
+        assert_eq!(c.rounds, 5);
+        assert_eq!(c.metrics.messages, 2);
+        assert_eq!(c.metrics.dropped_messages, 0);
+    }
+
+    #[test]
+    fn permanently_downed_edge_drops_remaining_demand() {
+        use congest_engine::FaultEvent;
+        let g = generators::path(3);
+        let blocked = single_edge_trace(EdgeId::new(0), 2);
+        let open = single_edge_trace(EdgeId::new(1), 3);
+        let plan =
+            FaultPlan::new(FaultResponse::SelfHeal).at(0, FaultEvent::EdgeDown(EdgeId::new(0)));
+        let c = compose_traces_faulty(&g, &[blocked, open], &plan, 4);
+        assert_eq!(c.metrics.messages, 3, "only the open edge delivers");
+        assert_eq!(c.metrics.dropped_messages, 2, "blocked rounds are dropped");
+        assert_eq!(c.rounds, 4, "three delivering rounds + the stall round");
+        assert_eq!(c.congestion, 3, "demand is fault-blind");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultPlan")]
+    fn faulty_compose_rejects_invalid_plans() {
+        use congest_engine::FaultEvent;
+        let g = generators::path(2);
+        let plan =
+            FaultPlan::new(FaultResponse::SelfHeal).at(0, FaultEvent::EdgeUp(EdgeId::new(0)));
+        compose_traces_faulty(&g, &[], &plan, 0);
     }
 
     #[test]

@@ -12,5 +12,7 @@
 pub mod compose;
 pub mod delays;
 
-pub use compose::{compose_measured, compose_traces, record_bcongest_trace, Composed, Trace};
+pub use compose::{
+    compose_measured, compose_traces, compose_traces_faulty, record_bcongest_trace, Composed, Trace,
+};
 pub use delays::{paper_shared_words, random_delays, shared_randomness, SharedRandomness};

@@ -9,7 +9,7 @@
 //! pass their entry points directly.
 
 use crate::{BuiltInput, MetricsEnvelope, RunOutcome, Workload};
-use congest_engine::{EngineError, ExecutorConfig, Metrics};
+use congest_engine::{EngineError, ExecutorConfig, Metrics, TraceLog};
 use std::fmt;
 
 pub(crate) type BuildFn = Box<dyn Fn() -> BuiltInput + Send + Sync>;
@@ -17,6 +17,14 @@ pub(crate) type ExecFn<T> =
     Box<dyn Fn(&BuiltInput, &ExecutorConfig) -> Result<(T, Metrics), EngineError> + Send + Sync>;
 pub(crate) type OracleFn<T> = Box<dyn Fn(&BuiltInput, &T) -> Result<(), String> + Send + Sync>;
 pub(crate) type EnvelopeFn = Box<dyn Fn(&BuiltInput) -> MetricsEnvelope + Send + Sync>;
+/// Records a per-round trace of the run (engine-runner entries only; composite
+/// entries fall back to the outcome-level trace the trait default builds).
+/// The `&str` argument is the entry's registry name, stamped into the header.
+pub(crate) type TraceFn = Box<
+    dyn Fn(&BuiltInput, &ExecutorConfig, &str) -> Result<(RunOutcome, TraceLog), EngineError>
+        + Send
+        + Sync,
+>;
 
 /// A [`Workload`] assembled from closures over a typed intermediate value `T`.
 pub(crate) struct FnWorkload<T: fmt::Debug> {
@@ -27,6 +35,7 @@ pub(crate) struct FnWorkload<T: fmt::Debug> {
     pub exec: ExecFn<T>,
     pub oracle: OracleFn<T>,
     pub envelope: EnvelopeFn,
+    pub trace: Option<TraceFn>,
 }
 
 impl<T: fmt::Debug> Workload for FnWorkload<T> {
@@ -56,6 +65,25 @@ impl<T: fmt::Debug> Workload for FnWorkload<T> {
             output: format!("{value:?}"),
             metrics,
         })
+    }
+
+    fn run_traced(&self, cfg: &ExecutorConfig) -> Result<(RunOutcome, TraceLog), EngineError> {
+        let input = (self.build)();
+        match &self.trace {
+            Some(trace) => trace(&input, cfg, &self.name()),
+            None => {
+                let outcome = self.run_built(&input, cfg)?;
+                let trace = TraceLog::composite(
+                    &self.name(),
+                    &input.graph,
+                    self.seed,
+                    cfg,
+                    outcome.output.clone(),
+                    &outcome.metrics,
+                );
+                Ok((outcome, trace))
+            }
+        }
     }
 
     fn oracle(&self) -> Result<(), String> {

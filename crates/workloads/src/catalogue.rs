@@ -6,22 +6,43 @@
 //! these exact entries, so "the workload list" has a single definition.
 
 use crate::adapter::{BuildFn, FnWorkload};
-use crate::{BuiltInput, MetricsEnvelope, Workload};
+use crate::{BuiltInput, MetricsEnvelope, RunOutcome, Workload};
+use apsp_core::verify::check_mst;
+use congest_algos::bfs::Bfs;
+use congest_algos::gossip::{expected_gossip, expected_gossip_masked, GossipOnce};
 use congest_algos::leader::LeaderElect;
 use congest_algos::matching_bipartite::BipartiteMatching;
 use congest_algos::matching_maximal::{matching_pairs, IsraeliItai};
 use congest_algos::mis::{is_valid_mis, LubyMis};
+use congest_algos::mst::{distributed_mst, message_bound, MstConfig};
+use congest_decomp::baswana_sen::{validate_hierarchy, Hierarchy};
 use congest_decomp::ldc::{build_ldc_with, validate_ldc};
+use congest_decomp::spanner::{measured_stretch, spanner_edges};
+use congest_engine::faults::{masked_bfs, masked_components};
+use congest_engine::trace::{record_bcongest, record_congest};
 use congest_engine::{
-    run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, RunOptions, WireEncode,
+    run_bcongest, run_congest, BcongestAlgorithm, CongestAlgorithm, FaultEvent, FaultPlan,
+    FaultResponse, RunOptions, WireEncode,
 };
 use congest_graph::{generators, reference, Graph, NodeId, WeightedGraph};
+use std::sync::Arc;
 
 /// The named graph families the per-family entries are instantiated over:
 /// random + pathological shapes — G(n,p) sparse and dense, a path (deep
 /// idle-skipping), a star (maximally skewed degrees, wildly unequal
-/// chunk/shard loads), a cycle, and a clustered caveman graph.
-pub const FAMILIES: [&str; 6] = ["gnp", "dense-gnp", "path", "star", "cycle", "caveman"];
+/// chunk/shard loads), a cycle, a clustered caveman graph, a
+/// preferential-attachment power-law graph (heavy-tailed degrees), and a
+/// hub-and-spoke topology (all traffic funnels through a small clique).
+pub const FAMILIES: [&str; 8] = [
+    "gnp",
+    "dense-gnp",
+    "path",
+    "star",
+    "cycle",
+    "caveman",
+    "power-law",
+    "hub-spoke",
+];
 
 /// Builds the named family's graph (deterministic; see [`FAMILIES`]).
 ///
@@ -36,6 +57,8 @@ pub fn family_graph(family: &str) -> Graph {
         "star" => generators::star(49),
         "cycle" => generators::cycle(40),
         "caveman" => generators::caveman(6, 8),
+        "power-law" => generators::power_law(56, 2, 21),
+        "hub-spoke" => generators::hub_and_spoke(6, 8),
         other => panic!("unknown graph family {other:?}"),
     }
 }
@@ -75,37 +98,98 @@ where
     A::Msg: Send + Sync,
     A::Output: 'static,
 {
+    bcongest_entry_faulty(
+        algorithm,
+        family,
+        seed,
+        build,
+        make,
+        |_| None,
+        oracle,
+        envelope,
+    )
+}
+
+/// [`bcongest_entry`] with a fault plan derived from the built input. The plan
+/// closure feeds both the normal runner and the trace recorder, so `run`,
+/// `run_traced` and `replay` all execute the same faulted scenario.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bcongest_entry_faulty<A>(
+    algorithm: &'static str,
+    family: String,
+    seed: u64,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    make: impl Fn(&BuiltInput) -> A + Send + Sync + 'static,
+    plan: impl Fn(&BuiltInput) -> Option<FaultPlan> + Send + Sync + 'static,
+    oracle: impl Fn(&BuiltInput, &[A::Output]) -> Result<(), String> + Send + Sync + 'static,
+    envelope: impl Fn(&BuiltInput) -> MetricsEnvelope + Send + Sync + 'static,
+) -> Box<dyn Workload>
+where
+    A: BcongestAlgorithm + Send + Sync + 'static,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: 'static,
+{
     // Every message of an engine-runner entry travels the plane at the packed
     // codec width, so the memory envelope is exact, not an estimate.
     let msg_bytes = 4 * <A::Msg as WireEncode>::LANES as u64;
+    let make = Arc::new(make);
+    let plan = Arc::new(plan);
     Box::new(FnWorkload {
         algorithm,
         family,
         seed,
         build: Box::new(build) as BuildFn,
-        exec: Box::new(move |input, cfg| {
-            let algo = make(input);
-            let run = run_bcongest(
-                &algo,
-                &input.graph,
-                input.weights.as_deref(),
-                &RunOptions {
-                    seed,
-                    exec: cfg.clone(),
-                    ..Default::default()
-                },
-            )?;
-            Ok((
-                BcongestValue {
-                    outputs: run.outputs,
-                    input_words: run.input_words,
-                    output_words: run.output_words,
-                },
-                run.metrics,
-            ))
+        exec: Box::new({
+            let (make, plan) = (Arc::clone(&make), Arc::clone(&plan));
+            move |input, cfg| {
+                let algo = make(input);
+                let run = run_bcongest(
+                    &algo,
+                    &input.graph,
+                    input.weights.as_deref(),
+                    &RunOptions {
+                        seed,
+                        exec: cfg.clone(),
+                        faults: plan(input),
+                        ..Default::default()
+                    },
+                )?;
+                Ok((
+                    BcongestValue {
+                        outputs: run.outputs,
+                        input_words: run.input_words,
+                        output_words: run.output_words,
+                    },
+                    run.metrics,
+                ))
+            }
         }),
         oracle: Box::new(move |input, value| oracle(input, &value.outputs)),
         envelope: Box::new(move |input| envelope(input).with_message_bytes(msg_bytes)),
+        trace: Some(Box::new(move |input, cfg, name| {
+            let algo = make(input);
+            let opts = RunOptions {
+                seed,
+                exec: cfg.clone(),
+                faults: plan(input),
+                ..Default::default()
+            };
+            let (run, trace) =
+                record_bcongest(&algo, &input.graph, input.weights.as_deref(), &opts, name)?;
+            let value = BcongestValue {
+                outputs: run.outputs,
+                input_words: run.input_words,
+                output_words: run.output_words,
+            };
+            Ok((
+                RunOutcome {
+                    output: format!("{value:?}"),
+                    metrics: run.metrics,
+                },
+                trace,
+            ))
+        })),
     })
 }
 
@@ -125,28 +209,83 @@ where
     A::Msg: Send + Sync,
     A::Output: 'static,
 {
+    congest_entry_faulty(
+        algorithm,
+        family,
+        seed,
+        build,
+        make,
+        |_| None,
+        oracle,
+        envelope,
+    )
+}
+
+/// [`congest_entry`] with a fault plan derived from the built input (see
+/// [`bcongest_entry_faulty`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn congest_entry_faulty<A>(
+    algorithm: &'static str,
+    family: String,
+    seed: u64,
+    build: impl Fn() -> BuiltInput + Send + Sync + 'static,
+    make: impl Fn(&BuiltInput) -> A + Send + Sync + 'static,
+    plan: impl Fn(&BuiltInput) -> Option<FaultPlan> + Send + Sync + 'static,
+    oracle: impl Fn(&BuiltInput, &[A::Output]) -> Result<(), String> + Send + Sync + 'static,
+    envelope: impl Fn(&BuiltInput) -> MetricsEnvelope + Send + Sync + 'static,
+) -> Box<dyn Workload>
+where
+    A: CongestAlgorithm + Send + Sync + 'static,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+    A::Output: 'static,
+{
     let msg_bytes = 4 * <A::Msg as WireEncode>::LANES as u64;
+    let make = Arc::new(make);
+    let plan = Arc::new(plan);
     Box::new(FnWorkload {
         algorithm,
         family,
         seed,
         build: Box::new(build) as BuildFn,
-        exec: Box::new(move |input, cfg| {
-            let algo = make(input);
-            let run = run_congest(
-                &algo,
-                &input.graph,
-                input.weights.as_deref(),
-                &RunOptions {
-                    seed,
-                    exec: cfg.clone(),
-                    ..Default::default()
-                },
-            )?;
-            Ok((run.outputs, run.metrics))
+        exec: Box::new({
+            let (make, plan) = (Arc::clone(&make), Arc::clone(&plan));
+            move |input, cfg| {
+                let algo = make(input);
+                let run = run_congest(
+                    &algo,
+                    &input.graph,
+                    input.weights.as_deref(),
+                    &RunOptions {
+                        seed,
+                        exec: cfg.clone(),
+                        faults: plan(input),
+                        ..Default::default()
+                    },
+                )?;
+                Ok((run.outputs, run.metrics))
+            }
         }),
         oracle: Box::new(move |input, outputs| oracle(input, outputs)),
         envelope: Box::new(move |input| envelope(input).with_message_bytes(msg_bytes)),
+        trace: Some(Box::new(move |input, cfg, name| {
+            let algo = make(input);
+            let opts = RunOptions {
+                seed,
+                exec: cfg.clone(),
+                faults: plan(input),
+                ..Default::default()
+            };
+            let (run, trace) =
+                record_congest(&algo, &input.graph, input.weights.as_deref(), &opts, name)?;
+            Ok((
+                RunOutcome {
+                    output: format!("{:?}", run.outputs),
+                    metrics: run.metrics,
+                },
+                trace,
+            ))
+        })),
     })
 }
 
@@ -175,6 +314,7 @@ pub(crate) fn composite_entry<T: std::fmt::Debug + 'static>(
         exec: Box::new(exec),
         oracle: Box::new(oracle),
         envelope: Box::new(envelope),
+        trace: None,
     })
 }
 
@@ -443,5 +583,322 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         |_| MetricsEnvelope::unbounded().with_message_bytes(16),
     ));
 
+    // --- fault-injection scenario axes -----------------------------------
+    //
+    // Every `faulty-*` entry threads a deterministic seeded FaultPlan through
+    // the engine runner and validates against a *surviving-graph* oracle:
+    // masked BFS, per-component minima, or the masked gossip fold. Because the
+    // plan closure also feeds the trace recorder, these scenarios are fully
+    // replayable (`tests/fault_conformance.rs` pins them across the whole
+    // backend × plane matrix).
+
+    // BFS under 3 crashes at round 1 (source protected), Restart semantics:
+    // live nodes must report masked-BFS distances on the surviving graph.
+    // Restart re-floods at most once per epoch: messages ≤ 2 epochs × 2m.
+    let bfs_crash_plan = |g: &Graph| FaultPlan::crashes(g, 3, 1, 5, &[NodeId::new(0)]);
+    entries.push(bcongest_entry_faulty(
+        "faulty-bfs",
+        "gnp-crash".to_string(),
+        5,
+        || BuiltInput::unweighted(family_graph("gnp")),
+        |_| Bfs::new(NodeId::new(0)),
+        move |input| Some(bfs_crash_plan(&input.graph)),
+        move |input, outputs| {
+            let g = &input.graph;
+            let mask = bfs_crash_plan(g).final_mask(g);
+            let want = masked_bfs(g, &mask, NodeId::new(0));
+            for v in g.nodes() {
+                if mask.node_up[v.index()] && outputs[v.index()].dist != want[v.index()] {
+                    return Err(format!(
+                        "dist({v:?}) = {:?}, surviving-graph oracle wants {:?}",
+                        outputs[v.index()].dist,
+                        want[v.index()]
+                    ));
+                }
+            }
+            Ok(())
+        },
+        |input| MetricsEnvelope::messages(4 * input.graph.m() as u64),
+    ));
+
+    // Leader election under 3 unprotected crashes at round 1, Restart: each
+    // surviving component independently elects its minimum live ID.
+    let leader_crash_plan = |g: &Graph| FaultPlan::crashes(g, 3, 1, 7, &[]);
+    entries.push(bcongest_entry_faulty(
+        "faulty-leader",
+        "gnp-crash".to_string(),
+        7,
+        || BuiltInput::unweighted(family_graph("gnp")),
+        |_| LeaderElect,
+        move |input| Some(leader_crash_plan(&input.graph)),
+        move |input, outputs| {
+            let g = &input.graph;
+            let mask = leader_crash_plan(g).final_mask(g);
+            let want = masked_components(g, &mask);
+            for v in g.nodes() {
+                if let Some(leader) = want[v.index()] {
+                    if outputs[v.index()].leader != leader {
+                        return Err(format!(
+                            "node {v:?} elected {:?}, its surviving component's minimum is {leader:?}",
+                            outputs[v.index()].leader
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+        |input| {
+            let (n, m) = (input.graph.n() as u64, input.graph.m() as u64);
+            MetricsEnvelope::messages(4 * m * n)
+        },
+    ));
+
+    // Leader election under additive (up-only) edge churn, SelfHeal: the
+    // path's central bridge is down from round 0 and comes up at round 60,
+    // long after both halves quiesced on their local minima. The `on_fault`
+    // hook re-arms the flood, and min-ID flooding is monotone, so the healed
+    // election must equal the fault-free full-graph result.
+    let heal_plan = |g: &Graph| {
+        let bridge = g
+            .edge_between(NodeId::new(23), NodeId::new(24))
+            .expect("path bridge edge");
+        FaultPlan::new(FaultResponse::SelfHeal)
+            .at(0, FaultEvent::EdgeDown(bridge))
+            .at(60, FaultEvent::EdgeUp(bridge))
+    };
+    entries.push(bcongest_entry_faulty(
+        "faulty-leader",
+        "path-heal".to_string(),
+        7,
+        || BuiltInput::unweighted(generators::path(48)),
+        |_| LeaderElect,
+        move |input| Some(heal_plan(&input.graph)),
+        |input, outputs| {
+            let g = &input.graph;
+            let want = reference::bfs_distances(g, NodeId::new(0));
+            for (v, out) in outputs.iter().enumerate() {
+                if out.leader != NodeId::new(0) {
+                    return Err(format!("node {v} elected {:?} after heal", out.leader));
+                }
+                if Some(out.dist) != want[v] {
+                    return Err(format!("dist({v}) = {}, want {:?}", out.dist, want[v]));
+                }
+            }
+            check_bfs_shape(
+                g,
+                NodeId::new(0),
+                |v| Some(outputs[v].dist),
+                |v| outputs[v].parent,
+            )
+        },
+        |_| MetricsEnvelope::unbounded(),
+    ));
+
+    // Gossip under 3 crashes at round 1, Restart: the final checksum at every
+    // live node is one masked exchange folded at the last fault round.
+    let gossip_crash_plan = |g: &Graph| FaultPlan::crashes(g, 3, 1, 9, &[]);
+    entries.push(congest_entry_faulty(
+        "faulty-gossip",
+        "gnp-crash".to_string(),
+        9,
+        || BuiltInput::unweighted(family_graph("gnp")),
+        |_| GossipOnce,
+        move |input| Some(gossip_crash_plan(&input.graph)),
+        move |input, outputs| {
+            let g = &input.graph;
+            let plan = gossip_crash_plan(g);
+            let mask = plan.final_mask(g);
+            let last = plan.last_fault_round().expect("plan has faults");
+            let want = expected_gossip_masked(g, &mask, last);
+            for v in g.nodes() {
+                if let Some(w) = want[v.index()] {
+                    if outputs[v.index()] != w {
+                        return Err(format!("checksum at {v:?} diverges from masked oracle"));
+                    }
+                }
+            }
+            Ok(())
+        },
+        |input| MetricsEnvelope::messages(4 * input.graph.m() as u64),
+    ));
+
+    // Gossip under transient edge churn (4 edges down at round 0, back up at
+    // round 2), Restart: the final topology is fully healed, so every node
+    // folds a complete exchange at the last fault round.
+    let gossip_churn_plan =
+        |g: &Graph| FaultPlan::edge_churn(g, 4, 0, 2, 9, FaultResponse::Restart);
+    entries.push(congest_entry_faulty(
+        "faulty-gossip",
+        "gnp-churn".to_string(),
+        9,
+        || BuiltInput::unweighted(family_graph("gnp")),
+        |_| GossipOnce,
+        move |input| Some(gossip_churn_plan(&input.graph)),
+        move |input, outputs| {
+            let g = &input.graph;
+            let plan = gossip_churn_plan(g);
+            let mask = plan.final_mask(g);
+            let last = plan.last_fault_round().expect("plan has faults");
+            let want = expected_gossip_masked(g, &mask, last);
+            for v in g.nodes() {
+                match want[v.index()] {
+                    Some(w) if outputs[v.index()] == w => {}
+                    _ => return Err(format!("checksum at {v:?} diverges from healed oracle")),
+                }
+            }
+            Ok(())
+        },
+        |input| MetricsEnvelope::messages(6 * input.graph.m() as u64),
+    ));
+
+    // MST with workload-level crash semantics: 3 nodes (never node 0) crash
+    // before the run starts, and GHS restarts on node 0's surviving component.
+    // The Kruskal differential oracle checks the MST *of that subgraph*.
+    let mst_crash_plan = |g: &Graph| FaultPlan::crashes(g, 3, 0, 17, &[NodeId::new(0)]);
+    entries.push(composite_entry(
+        "faulty-mst",
+        "gnp-crash".to_string(),
+        17,
+        || {
+            let g = family_graph("gnp");
+            BuiltInput::weighted(WeightedGraph::random_weights(&g, 1..=9, 17))
+        },
+        move |input, cfg| {
+            let wg = surviving_component(&input.weighted_graph(), &mst_crash_plan(&input.graph));
+            let run = distributed_mst(
+                &wg,
+                &MstConfig {
+                    exec: cfg.clone(),
+                    message_budget: Some(message_bound(wg.n(), wg.m())),
+                    ..Default::default()
+                },
+            )?;
+            Ok(((run.edges, run.total_weight, run.complete), run.metrics))
+        },
+        move |input, value| {
+            let wg = surviving_component(&input.weighted_graph(), &mst_crash_plan(&input.graph));
+            check_mst(&wg, &value.0)
+        },
+        |input| {
+            MetricsEnvelope::messages(message_bound(input.graph.n(), input.graph.m()))
+                .with_message_bytes(8)
+        },
+    ));
+
+    // --- skewed-topology scenario axes -----------------------------------
+    //
+    // Larger instances of the two skewed generators than the per-family
+    // loops use: heavy-tailed preferential attachment and a hub clique
+    // carrying 24 leaves per hub — the shapes where per-node fan-out is
+    // most unbalanced across chunks/shards.
+    entries.push(bcongest_entry(
+        "skewed-bfs",
+        "power-law-wide".to_string(),
+        5,
+        || BuiltInput::unweighted(generators::power_law(120, 3, 7)),
+        |_| Bfs::new(NodeId::new(0)),
+        |input, outputs| {
+            check_bfs_shape(
+                &input.graph,
+                NodeId::new(0),
+                |v| outputs[v].dist,
+                |v| outputs[v].parent,
+            )
+        },
+        |input| MetricsEnvelope::bounds(2 * input.graph.m() as u64, input.graph.n() as u64 + 2),
+    ));
+    entries.push(congest_entry(
+        "skewed-gossip",
+        "hub-spoke-wide".to_string(),
+        9,
+        || BuiltInput::unweighted(generators::hub_and_spoke(8, 24)),
+        |_| GossipOnce,
+        |input, outputs| {
+            let want = expected_gossip(&input.graph);
+            (outputs == &want[..])
+                .then_some(())
+                .ok_or_else(|| "checksums diverge from the local oracle".to_string())
+        },
+        |input| MetricsEnvelope::bounds(2 * input.graph.m() as u64, 2),
+    ));
+
+    // Baswana–Sen spanner hierarchy (ε = 1/2, κ = 2): exact `κ·2m` accounted
+    // message cost, structural validation, and a measured stretch within the
+    // 2κ−1 guarantee on sampled sources.
+    entries.push(composite_entry(
+        "baswana-sen-spanner",
+        "gnp".to_string(),
+        19,
+        || BuiltInput::unweighted(generators::gnp_connected(48, 0.12, 19)),
+        |input, _cfg| {
+            // The hierarchy build is a decomposition pass with closed-form
+            // accounting, identical for every executor configuration.
+            let h = Hierarchy::build(&input.graph, 0.5, 19);
+            let metrics = h.metrics.clone();
+            let edges = spanner_edges(&input.graph, &h);
+            Ok(((edges, h.kappa), metrics))
+        },
+        |input, value| {
+            let g = &input.graph;
+            let h = Hierarchy::build(g, 0.5, 19);
+            validate_hierarchy(g, &h)?;
+            if value.1 != h.kappa {
+                return Err(format!(
+                    "kappa {} diverges from rebuild {}",
+                    value.1, h.kappa
+                ));
+            }
+            let stretch = measured_stretch(g, &h, 12, 19);
+            let bound = (2 * h.kappa - 1) as f64;
+            if stretch > bound {
+                return Err(format!("measured stretch {stretch} exceeds 2κ−1 = {bound}"));
+            }
+            Ok(())
+        },
+        // κ = ⌈1/ε⌉ = 2 charged passes over both edge directions, one word
+        // (8 bytes) each.
+        |input| MetricsEnvelope::messages(4 * input.graph.m() as u64).with_message_bytes(8),
+    ));
+
     entries
+}
+
+/// The induced weighted subgraph on node 0's surviving component after
+/// `plan`'s faults — the workload-level "restart on what survived" semantics
+/// for composite algorithms that assume a connected input.
+fn surviving_component(wg: &WeightedGraph, plan: &FaultPlan) -> WeightedGraph {
+    let g = wg.graph();
+    let mask = plan.final_mask(g);
+    let comp = masked_components(g, &mask);
+    // Node 0 is protected in the crash plans, so its component's minimum live
+    // ID is node 0 itself.
+    let mut renumber: Vec<Option<usize>> = vec![None; g.n()];
+    let mut kept = 0usize;
+    for v in g.nodes() {
+        if comp[v.index()] == Some(NodeId::new(0)) {
+            renumber[v.index()] = Some(kept);
+            kept += 1;
+        }
+    }
+    let mut edges = Vec::new();
+    let mut weight_of = std::collections::BTreeMap::new();
+    for (e, u, v) in g.edges() {
+        if let (Some(u2), Some(v2)) = (renumber[u.index()], renumber[v.index()]) {
+            if mask.allows(g, e) {
+                edges.push((u2, v2));
+                weight_of.insert((u2.min(v2), u2.max(v2)), wg.weight(e));
+            }
+        }
+    }
+    // `from_edges` canonicalizes edge order, so weights re-attach by endpoint
+    // pair rather than by position.
+    let sub = Graph::from_edges(kept, &edges);
+    let weights = sub
+        .edges()
+        .map(|(_, u, v)| {
+            let (a, b) = (u.index().min(v.index()), u.index().max(v.index()));
+            weight_of[&(a, b)]
+        })
+        .collect();
+    WeightedGraph::from_weights(sub, weights).expect("one weight per surviving edge")
 }

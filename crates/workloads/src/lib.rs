@@ -43,6 +43,7 @@ pub mod configs;
 pub mod make;
 
 pub use catalogue::{family_graph, graph_families, registry, FAMILIES};
+pub use congest_engine::TraceLog;
 
 use congest_engine::{EngineError, ExecutorConfig, Metrics};
 use congest_graph::{Graph, WeightedGraph};
@@ -239,6 +240,32 @@ pub trait Workload: Send + Sync {
         cfg: &ExecutorConfig,
     ) -> Result<RunOutcome, EngineError>;
 
+    /// Runs the workload under `cfg` and records a replayable [`TraceLog`]
+    /// alongside the outcome. Engine-runner entries record every per-round
+    /// delivery and fault event; composite entries (multi-phase workloads with
+    /// no single runner loop) record an outcome-level trace — either way
+    /// [`replay`] can re-execute and conformance-check the result.
+    ///
+    /// The returned outcome equals what [`run`](Workload::run) produces under
+    /// the same `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (round guards, budget overdrafts).
+    fn run_traced(&self, cfg: &ExecutorConfig) -> Result<(RunOutcome, TraceLog), EngineError> {
+        let input = self.build();
+        let outcome = self.run_built(&input, cfg)?;
+        let trace = TraceLog::composite(
+            &self.name(),
+            &input.graph,
+            self.seed(),
+            cfg,
+            outcome.output.clone(),
+            &outcome.metrics,
+        );
+        Ok((outcome, trace))
+    }
+
     /// Runs sequentially and validates the result against the workload's
     /// reference oracle.
     ///
@@ -254,4 +281,26 @@ pub trait Workload: Send + Sync {
 /// Looks up a registry entry by its unique `algorithm/family` name.
 pub fn find(name: &str) -> Option<Box<dyn Workload>> {
     registry().into_iter().find(|w| w.name() == name)
+}
+
+/// Replays a recorded trace: looks up the workload named in the header,
+/// re-executes it under the recorded executor configuration, and checks the
+/// fresh trace is **identical** to the recorded one — same per-round fault
+/// events and deliveries (byte-for-byte, lane by lane), same outputs, and the
+/// same exact [`Metrics`] including the per-edge congestion vector.
+///
+/// This is the conformance layer's closure property: a trace is not just a
+/// log, it is a reproducible claim about the execution.
+///
+/// # Errors
+///
+/// Describes the first divergence, an unknown workload name, or a failed run.
+pub fn replay(trace: &TraceLog) -> Result<(), String> {
+    let w = find(&trace.workload)
+        .ok_or_else(|| format!("no registry entry named {:?}", trace.workload))?;
+    let cfg = trace.exec_config()?;
+    let (_, fresh) = w
+        .run_traced(&cfg)
+        .map_err(|e| format!("{}: replay run failed: {e}", trace.workload))?;
+    trace.conforms(&fresh)
 }

@@ -38,6 +38,68 @@ fn names_are_unique_and_catalogue_is_broad() {
 }
 
 #[test]
+fn family_names_are_unique_per_algorithm_axis() {
+    // Global name uniqueness is `algorithm/family`; this pins the finer
+    // invariant that no axis registers the same family twice (which global
+    // uniqueness alone would also catch) *and* that every scenario axis the
+    // fault engine introduced is actually present.
+    let reg = registry();
+    let mut axes: std::collections::BTreeMap<&str, Vec<String>> = std::collections::BTreeMap::new();
+    for w in &reg {
+        axes.entry(w.algorithm())
+            .or_default()
+            .push(w.family().to_string());
+    }
+    for (algo, families) in &mut axes {
+        let total = families.len();
+        families.sort();
+        families.dedup();
+        assert_eq!(families.len(), total, "duplicate family under axis {algo}");
+    }
+    for axis in [
+        "faulty-bfs",
+        "faulty-leader",
+        "faulty-gossip",
+        "faulty-mst",
+        "skewed-bfs",
+        "skewed-gossip",
+        "baswana-sen-spanner",
+    ] {
+        assert!(axes.contains_key(axis), "missing scenario axis {axis}");
+    }
+}
+
+#[test]
+fn skew_and_scale_generators_are_deterministic_at_two_sizes() {
+    use congest_apsp::graph::{generators, reference, NodeId};
+    for n in [24, 56] {
+        let g = generators::power_law(n, 2, 9);
+        assert_eq!(g, generators::power_law(n, 2, 9), "power_law({n}) varies");
+        assert!(
+            reference::bfs_distances(&g, NodeId::new(0))
+                .iter()
+                .all(Option::is_some),
+            "power_law({n}) is disconnected"
+        );
+    }
+    for (hubs, spokes) in [(4, 6), (6, 8)] {
+        let g = generators::hub_and_spoke(hubs, spokes);
+        assert_eq!(g, generators::hub_and_spoke(hubs, spokes));
+        assert_eq!(g.n(), hubs * (1 + spokes));
+        assert!(reference::bfs_distances(&g, NodeId::new(0))
+            .iter()
+            .all(Option::is_some));
+    }
+    for n in [64, 256] {
+        assert_eq!(
+            generators::sparse_connected(n, 8, 5),
+            generators::sparse_connected(n, 8, 5),
+            "sparse_connected({n}) varies"
+        );
+    }
+}
+
+#[test]
 fn builds_are_deterministic() {
     for w in registry() {
         assert_eq!(
