@@ -19,6 +19,8 @@
 //!     [--quick] [--out BENCH_serve.json]
 //! cargo run --release -p congest-bench --bin experiments -- --bench-faults \
 //!     [--quick] [--out BENCH_faults.json]
+//! cargo run --release -p congest-bench --bin experiments -- --bench-auto \
+//!     [--quick] [--out BENCH_auto.json]
 //! ```
 //!
 //! `--threads N` sets the process-wide executor default (0 = hardware threads):
@@ -49,8 +51,14 @@
 //! written to `BENCH_serve.json`. `--bench-faults` runs the fault & scenario
 //! suite (every `faulty-*`/`skewed-*`/spanner registry entry; see
 //! `congest_bench::fault_bench`) under the backend sweep, records and replays
-//! a trace per scenario, and writes `BENCH_faults.json`.
+//! a trace per scenario, and writes `BENCH_faults.json`. `--bench-auto` pits
+//! the cost-model `Auto` backend against every manual backend on the full
+//! registry plus the 10⁵–10⁶-node scale workloads (see
+//! `congest_bench::auto_bench`), asserting the per-round decision log is
+//! byte-identical across repeats and thread counts, written to
+//! `BENCH_auto.json`.
 
+use congest_bench::auto_bench::{run_auto_bench, AutoBenchConfig};
 use congest_bench::engine_bench::{run_engine_bench, EngineBenchConfig};
 use congest_bench::experiments as ex;
 use congest_bench::fault_bench::{run_fault_bench, FaultBenchConfig};
@@ -244,6 +252,44 @@ fn main() {
         println!(
             "{} scenarios, all backends conformant, every trace replayed byte-identically",
             report.scenarios.len()
+        );
+        std::fs::write(&out, report.to_json()).expect("write bench json");
+        println!("wrote {out}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-auto") {
+        let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_auto.json".into());
+        let cfg = if quick {
+            AutoBenchConfig::quick(seed)
+        } else {
+            AutoBenchConfig::full(seed)
+        };
+        let report = run_auto_bench(&cfg);
+        for w in &report.workloads {
+            println!(
+                "{:<32} n = {:>7}, m = {:>8} | auto {:>9.3} ms vs best manual {:>9.3} ms ({}) | {:.2}x | {}",
+                w.name,
+                w.n,
+                w.m,
+                w.auto_wall_ms,
+                w.best_manual_wall_ms,
+                w.best_manual,
+                w.auto_vs_best,
+                if w.within_noise { "within noise" } else { "SLOWER" }
+            );
+            println!(
+                "  decisions: {} rounds (sequential {}, chunked {}, sharded {}), log deterministic across repeats and threads",
+                w.decision_rounds,
+                w.decisions.sequential,
+                w.decisions.chunked,
+                w.decisions.sharded
+            );
+        }
+        println!(
+            "{} workloads | auto never slower within noise: {}",
+            report.workloads.len(),
+            report.auto_never_slower_within_noise()
         );
         std::fs::write(&out, report.to_json()).expect("write bench json");
         println!("wrote {out}");

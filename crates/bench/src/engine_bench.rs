@@ -78,6 +78,11 @@ pub struct ThreadSample {
     pub messages: u64,
     /// Broadcast operations (0 for the CONGEST workload).
     pub broadcasts: u64,
+    /// Whether this sample ran more executor threads than the host has
+    /// hardware threads — its wall-clock then measures dispatch/contention
+    /// overhead, not speedup, and trajectory tooling should not read it as a
+    /// scaling data point.
+    pub oversubscribed: bool,
 }
 
 /// All samples of one workload.
@@ -103,6 +108,32 @@ impl WorkloadReport {
             .skip(1)
             .map(|s| base / s.wall_ms.max(1e-9))
             .fold(0.0, f64::max)
+    }
+
+    /// Whether every multi-thread sample lost to the sequential baseline —
+    /// the "best speedup" is actually a regression. Previously the JSON
+    /// labelled sub-1.0 ratios `best_speedup` with no signal, which read as a
+    /// win in the trajectory.
+    pub fn regression(&self) -> bool {
+        self.best_speedup() < 1.0
+    }
+
+    /// The fastest sample's configuration label (`"1-thread"`, `"4-threads"`,
+    /// …) — what a reader should actually run on this host.
+    pub fn best_config(&self) -> String {
+        self.samples
+            .iter()
+            .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+            .map_or_else(
+                || "none".to_string(),
+                |s| {
+                    if s.threads == 1 {
+                        "1-thread".to_string()
+                    } else {
+                        format!("{}-threads", s.threads)
+                    }
+                },
+            )
     }
 }
 
@@ -216,6 +247,9 @@ fn sample<O: PartialEq + std::fmt::Debug>(
         rounds: metrics.rounds,
         messages: metrics.messages,
         broadcasts: metrics.broadcasts,
+        // Tagged against the measuring host's hardware threads once the
+        // report assembles (`run_engine_bench`).
+        oversubscribed: false,
     }
 }
 
@@ -336,10 +370,17 @@ pub fn run_engine_bench(cfg: &EngineBenchConfig) -> EngineBenchReport {
         congest_engine::exec::map_ranges(&ExecutorConfig::with_threads(t), 2, |_| ());
     }
     let g = generators::gnp_connected(cfg.n, cfg.p, cfg.seed);
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut workloads = vec![bcongest_workload(cfg), congest_workload(&g, cfg)];
+    for w in &mut workloads {
+        for s in &mut w.samples {
+            s.oversubscribed = s.threads > host_threads;
+        }
+    }
     EngineBenchReport {
         seed: cfg.seed,
-        host_threads: std::thread::available_parallelism().map_or(1, usize::from),
-        workloads: vec![bcongest_workload(cfg), congest_workload(&g, cfg)],
+        host_threads,
+        workloads,
     }
 }
 
@@ -363,15 +404,21 @@ impl EngineBenchReport {
                 "      \"best_speedup\": {:.3},\n",
                 w.best_speedup()
             ));
+            s.push_str(&format!("      \"regression\": {},\n", w.regression()));
+            s.push_str(&format!(
+                "      \"best_config\": \"{}\",\n",
+                w.best_config()
+            ));
             s.push_str("      \"samples\": [\n");
             for (si, smp) in w.samples.iter().enumerate() {
                 s.push_str(&format!(
-                    "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"rounds\": {}, \"messages\": {}, \"broadcasts\": {}}}{}\n",
+                    "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"rounds\": {}, \"messages\": {}, \"broadcasts\": {}, \"oversubscribed\": {}}}{}\n",
                     smp.threads,
                     smp.wall_ms,
                     smp.rounds,
                     smp.messages,
                     smp.broadcasts,
+                    smp.oversubscribed,
                     if si + 1 < w.samples.len() { "," } else { "" }
                 ));
             }
@@ -414,6 +461,9 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"engine-round-executor\""));
         assert!(json.contains("congest-neighbor-exchange"));
+        assert!(json.contains("\"regression\": "));
+        assert!(json.contains("\"best_config\": \""));
+        assert!(json.contains("\"oversubscribed\": "));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(
             json.matches('{').count(),
@@ -421,5 +471,41 @@ mod tests {
             "JSON braces balance"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Any sample above the host's hardware thread count is tagged.
+        let host = std::thread::available_parallelism().map_or(1, usize::from);
+        for w in &report.workloads {
+            for s in &w.samples {
+                assert_eq!(s.oversubscribed, s.threads > host);
+            }
+        }
+    }
+
+    #[test]
+    fn regression_and_best_config_read_the_samples() {
+        let mk = |walls: &[f64]| WorkloadReport {
+            name: "synthetic",
+            n: 0,
+            m: 0,
+            samples: walls
+                .iter()
+                .enumerate()
+                .map(|(i, &wall_ms)| ThreadSample {
+                    threads: 1 << i,
+                    wall_ms,
+                    rounds: 0,
+                    messages: 0,
+                    broadcasts: 0,
+                    oversubscribed: false,
+                })
+                .collect(),
+        };
+        // Parallel wins: no regression, fastest sample named.
+        let winning = mk(&[10.0, 6.0, 4.0]);
+        assert!(!winning.regression());
+        assert_eq!(winning.best_config(), "4-threads");
+        // Every parallel sample loses: explicit regression, baseline named.
+        let losing = mk(&[10.0, 12.0, 15.0]);
+        assert!(losing.regression());
+        assert_eq!(losing.best_config(), "1-thread");
     }
 }

@@ -246,8 +246,9 @@ mod tests {
         };
         let sc = &report.scenarios[0];
         assert_eq!(sc.scenario, "faulty-gossip/gnp-crash");
-        assert_eq!(sc.samples.len(), 5);
+        assert_eq!(sc.samples.len(), 6);
         assert_eq!(sc.samples[0].backend, "sequential");
+        assert_eq!(sc.samples[5].backend, "auto/hw");
         assert!(sc.dropped_messages > 0, "fault plan never bit");
         assert!(sc.trace_bytes > 0 && sc.trace_rounds > 0);
         let json = report.to_json();

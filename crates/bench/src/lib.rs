@@ -23,8 +23,13 @@
 //! differential-checked), behind `--bench-serve`. [`fault_bench`] is the fault
 //! & scenario suite behind `BENCH_faults.json`: every `faulty-*`/`skewed-*`
 //! registry scenario under the backend sweep plus the record/replay cost of
-//! the trace layer, behind `--bench-faults`.
+//! the trace layer, behind `--bench-faults`. [`auto_bench`] is the backend
+//! auto-selection bench behind `BENCH_auto.json`: `DeliveryBackend::Auto` vs
+//! every manual backend on the full registry plus the scale workloads, with
+//! the per-round decision log asserted byte-identical across repeats and
+//! thread counts, behind `--bench-auto`.
 
+pub mod auto_bench;
 pub mod engine_bench;
 pub mod experiments;
 pub mod fault_bench;

@@ -236,8 +236,9 @@ mod tests {
         };
         let w = &report.workloads[0];
         assert_eq!(w.name, "gossip/cycle");
-        assert_eq!(w.samples.len(), 5);
+        assert_eq!(w.samples.len(), 6);
         assert_eq!(w.samples[0].backend, "sequential");
+        assert_eq!(w.samples[5].backend, "auto/hw");
         assert!(w.messages > 0);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"workload-suite\""));

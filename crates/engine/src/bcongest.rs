@@ -241,6 +241,11 @@ where
     });
 
     let mut plane: RoundPlane<A::Msg> = RoundPlane::new(cfg, n);
+    // One chooser per Auto run: resolves the delivery backend per round from
+    // the round's measured message volume (never the thread count, so the
+    // decision log stays byte-identical across thread counts).
+    let mut chooser = (cfg.backend == exec::DeliveryBackend::Auto)
+        .then(|| exec::BackendChooser::new(exec::AutoCostModel::calibrated(), n));
     let mut round: usize = 0;
     let mut rounds_used: u64 = 0;
 
@@ -315,6 +320,21 @@ where
         //    planes share — never delivered, never charged, only counted
         //    (`u64` addition commutes, so the count is thread-order-free).
         metrics.broadcasts += broadcasters.len() as u64;
+        // Auto backend: resolve this round's delivery backend from its
+        // pre-fault message volume (Σ deg over broadcasters — what delivery
+        // is about to move) and log the decision. The volume is a pure
+        // function of the states, so the log is deterministic.
+        let round_cfg = chooser.as_mut().map(|ch| {
+            let volume: u64 = broadcasters.iter().map(|(v, _)| g.degree(*v) as u64).sum();
+            let chosen = ch.choose(volume);
+            metrics.record_backend_decision(exec::BackendDecision {
+                round: round as u64,
+                volume,
+                backend: chosen,
+            });
+            cfg.clone().with_backend(chosen)
+        });
+        let deliver_cfg = round_cfg.as_ref().unwrap_or(cfg);
         let dropped = AtomicU64::new(0);
         let fault_mask = fault_rt.as_ref().map(|fs| &fs.mask);
         let expand = |v: NodeId, msg: &A::Msg, sink: &mut dyn FnMut(NodeId, EdgeId, A::Msg)| {
@@ -328,7 +348,7 @@ where
                 sink(u, e, msg.clone());
             }
         };
-        plane.deliver(cfg, &broadcasters, &expand, &mut metrics);
+        plane.deliver(deliver_cfg, &broadcasters, &expand, &mut metrics);
         metrics.dropped_messages += dropped.load(Ordering::Relaxed);
 
         // 3. Receive: per-node state transitions, sharded with their inboxes.

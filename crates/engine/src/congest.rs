@@ -161,6 +161,10 @@ where
     });
 
     let mut plane: RoundPlane<A::Msg> = RoundPlane::new(cfg, n);
+    // One chooser per Auto run (mirrors the BCONGEST runner): per-round
+    // backend resolution from measured volume only, never the thread count.
+    let mut chooser = (cfg.backend == exec::DeliveryBackend::Auto)
+        .then(|| exec::BackendChooser::new(exec::AutoCostModel::calibrated(), n));
     let mut round = 0usize;
     let mut rounds_used = 0u64;
     loop {
@@ -216,6 +220,19 @@ where
         for (v, _) in &all_sends {
             algo.on_sent(&mut states[v.index()], round);
         }
+        // Auto backend: resolve this round's delivery backend from its
+        // pre-fault message volume (Σ send-batch lengths) and log it.
+        let round_cfg = chooser.as_mut().map(|ch| {
+            let volume: u64 = all_sends.iter().map(|(_, b)| b.len() as u64).sum();
+            let chosen = ch.choose(volume);
+            metrics.record_backend_decision(exec::BackendDecision {
+                round: round as u64,
+                volume,
+                backend: chosen,
+            });
+            cfg.clone().with_backend(chosen)
+        });
+        let deliver_cfg = round_cfg.as_ref().unwrap_or(cfg);
         // Edge resolution and delivery through the configured backend (the
         // `edge_between` lookups are the hot part of the expansion): inline
         // pushes, chunk-order-merged outboxes, or sharded mailboxes with
@@ -244,7 +261,7 @@ where
                 sink(*u, e, m.clone());
             }
         };
-        plane.deliver(cfg, &all_sends, &expand, &mut metrics);
+        plane.deliver(deliver_cfg, &all_sends, &expand, &mut metrics);
         metrics.dropped_messages += dropped.load(Ordering::Relaxed);
         // Per-node receive transitions, sharded with their inboxes. With an
         // observer attached the phase stays sequential so the callback sees

@@ -69,6 +69,21 @@ pub enum DeliveryBackend {
         /// Number of node shards (clamped to `[1, n]`).
         shards: usize,
     },
+    /// Cost-model auto-selection: the runners resolve this to one of the
+    /// three concrete backends **per round**, from the round's measured
+    /// message volume via [`AutoCostModel`] (with hysteresis, so consecutive
+    /// rounds don't thrash between pool-dispatching backends). The chosen
+    /// backend is recorded in [`crate::Metrics::backend_decisions`]; the
+    /// decision is a pure function of `(volume, n, previous decision)` — never
+    /// of the thread count — so the decision log is byte-identical across
+    /// repeats and thread counts, and outputs/metrics stay byte-identical to
+    /// every manual backend (each concrete backend is conformant).
+    ///
+    /// Outside the runners' round loops (treeops, direct `deliver_phase`
+    /// calls) no per-round volume exists; there [`ExecutorConfig::resolved_backend`]
+    /// falls back to the [`DeliveryBackend::Chunked`] rule (sequential at one
+    /// effective thread, chunk-parallel otherwise).
+    Auto,
 }
 
 impl Default for DeliveryBackend {
@@ -213,6 +228,17 @@ impl ExecutorConfig {
         }
     }
 
+    /// An executor with the cost-model [`DeliveryBackend::Auto`] backend and
+    /// exactly `threads` workers (`0` = hardware threads). The runners resolve
+    /// the concrete backend per round; see [`AutoCostModel`].
+    pub const fn auto(threads: usize) -> Self {
+        Self {
+            threads,
+            backend: DeliveryBackend::Auto,
+            message_plane: MessagePlane::Boxed,
+        }
+    }
+
     /// Replaces the delivery backend, keeping the thread count.
     #[must_use]
     pub const fn with_backend(mut self, backend: DeliveryBackend) -> Self {
@@ -260,6 +286,175 @@ impl ExecutorConfig {
             }
             DeliveryBackend::Sharded { shards } => DeliveryBackend::Sharded {
                 shards: shards.max(1),
+            },
+            // Volume-blind fallback for contexts without a per-round volume
+            // hint (treeops, direct `deliver_phase` callers): same rule as
+            // `Chunked`. The runners' round loops never hit this arm — they
+            // resolve `Auto` through a `BackendChooser` before delivery.
+            DeliveryBackend::Auto => {
+                if self.is_parallel() {
+                    DeliveryBackend::Chunked
+                } else {
+                    DeliveryBackend::Sequential
+                }
+            }
+        }
+    }
+}
+
+/// Calibrated volume thresholds for [`DeliveryBackend::Auto`].
+///
+/// The model maps a round's pre-delivery message volume (the number of
+/// point-to-point messages the round will move, counted before fault masking)
+/// to one of three **tiers**:
+///
+/// * tier 0, [`DeliveryBackend::Sequential`] — `volume ≤ sequential_max_volume`.
+///   Quiet rounds: pool dispatch costs more than it saves, so deliver inline.
+/// * tier 2, [`DeliveryBackend::Sharded`] — `volume ≥ sharded_min_volume` **and**
+///   `volume ≥ sharded_min_density × n`. Heavy *and dense* rounds: the sharded
+///   mailbox layout pays only when each node's inbox is touched several times
+///   per round (`BENCH_shard.json` wins come from dense small graphs at 4–12
+///   messages/node; `BENCH_scale.json` shows sharded **losing** ~30% on sparse
+///   10⁶-node workloads at ~3 messages/node, so absolute volume alone must not
+///   trigger this tier).
+/// * tier 1, [`DeliveryBackend::Chunked`] — everything between. Chunked
+///   collapses to the sequential path at one effective thread, so this tier
+///   never costs more than sequential on a small host while fanning out on a
+///   large one.
+///
+/// **Thread-independence**: the tier is a pure function of `(volume, n,
+/// previous tier)` — `effective_threads()` influences execution only through
+/// the conformant `Chunked → Sequential` collapse in
+/// [`ExecutorConfig::resolved_backend`]. That keeps the decision log
+/// byte-identical across thread counts, which the determinism suite pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutoCostModel {
+    /// Largest round volume still delivered inline (tier 0).
+    pub sequential_max_volume: u64,
+    /// Smallest round volume eligible for sharded mailboxes (tier 2).
+    pub sharded_min_volume: u64,
+    /// Minimum average messages **per node** for tier 2 — the mailbox-reuse
+    /// density at which the sharded layout's extra batch copy amortizes.
+    pub sharded_min_density: u64,
+    /// Hysteresis divisor: once a tier is entered, the run downgrades only
+    /// when the volume falls below that tier's entry threshold divided by
+    /// this factor. Amortizes pool dispatch across consecutive rounds and
+    /// prevents backend thrashing on sawtooth volume profiles.
+    pub hysteresis: u64,
+    /// Nodes per shard when tier 2 fires: `shards = (n / nodes_per_shard)`
+    /// clamped to `[2, max_shards]`.
+    pub nodes_per_shard: usize,
+    /// Upper bound on the shard count tier 2 requests.
+    pub max_shards: usize,
+}
+
+impl AutoCostModel {
+    /// The calibrated defaults, fitted to the committed `BENCH_engine.json` /
+    /// `BENCH_shard.json` / `BENCH_scale.json` trajectories (methodology in
+    /// `docs/BENCHMARKING.md` § backend auto-selection).
+    pub const fn calibrated() -> Self {
+        Self {
+            sequential_max_volume: 4096,
+            sharded_min_volume: 1 << 16,
+            sharded_min_density: 4,
+            hysteresis: 2,
+            nodes_per_shard: 1 << 14,
+            max_shards: 8,
+        }
+    }
+
+    /// The tier (0 = sequential, 1 = chunked, 2 = sharded) this volume maps to
+    /// with no hysteresis applied.
+    fn preferred_tier(&self, volume: u64, n: usize) -> u8 {
+        if volume >= self.sharded_min_volume
+            && volume >= self.sharded_min_density.saturating_mul(n as u64)
+        {
+            2
+        } else if volume > self.sequential_max_volume {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The volume at which `tier` is entered from below (tier 0 returns 0).
+    fn entry_threshold(&self, tier: u8, n: usize) -> u64 {
+        match tier {
+            2 => {
+                let density = self.sharded_min_density.saturating_mul(n as u64);
+                if density > self.sharded_min_volume {
+                    density
+                } else {
+                    self.sharded_min_volume
+                }
+            }
+            1 => self.sequential_max_volume + 1,
+            _ => 0,
+        }
+    }
+
+    /// Shard count for an `n`-node graph when tier 2 fires.
+    fn shards_for(&self, n: usize) -> usize {
+        (n / self.nodes_per_shard.max(1)).clamp(2, self.max_shards.max(2))
+    }
+}
+
+impl Default for AutoCostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// One per-round [`DeliveryBackend::Auto`] resolution, recorded in
+/// [`crate::Metrics::backend_decisions`]. `round` is the 0-based round index
+/// the decision applied to (as the runners count rounds), `volume` the
+/// measured pre-delivery message volume it was derived from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendDecision {
+    /// 0-based round index within the run.
+    pub round: u64,
+    /// Pre-delivery message volume of that round.
+    pub volume: u64,
+    /// The concrete backend the cost model resolved to.
+    pub backend: DeliveryBackend,
+}
+
+/// Per-run state for [`DeliveryBackend::Auto`]: applies [`AutoCostModel`]
+/// with hysteresis. The runners create one chooser per run (only when the
+/// configured backend is `Auto`) and consult it once per executed round.
+#[derive(Clone, Debug)]
+pub struct BackendChooser {
+    model: AutoCostModel,
+    n: usize,
+    tier: u8,
+}
+
+impl BackendChooser {
+    /// A chooser for an `n`-node run, starting on the sequential tier.
+    pub fn new(model: AutoCostModel, n: usize) -> Self {
+        Self { model, n, tier: 0 }
+    }
+
+    /// Resolves the backend for a round moving `volume` messages. Upgrades to
+    /// a higher tier immediately; downgrades only once the volume falls below
+    /// the current tier's entry threshold divided by the hysteresis factor,
+    /// so consecutive mid-volume rounds keep reusing the already-dispatched
+    /// parallel machinery instead of thrashing.
+    pub fn choose(&mut self, volume: u64) -> DeliveryBackend {
+        let preferred = self.model.preferred_tier(volume, self.n);
+        if preferred > self.tier {
+            self.tier = preferred;
+        } else if preferred < self.tier {
+            let entry = self.model.entry_threshold(self.tier, self.n);
+            if volume < entry / self.model.hysteresis.max(1) {
+                self.tier = preferred;
+            }
+        }
+        match self.tier {
+            0 => DeliveryBackend::Sequential,
+            1 => DeliveryBackend::Chunked,
+            _ => DeliveryBackend::Sharded {
+                shards: self.model.shards_for(self.n),
             },
         }
     }
@@ -545,6 +740,74 @@ mod tests {
         );
         // `sharded(s)` provisions one worker per shard.
         assert_eq!(ExecutorConfig::sharded(4).threads, 4);
+        // Auto's volume-blind fallback follows the Chunked collapse rule.
+        assert_eq!(
+            ExecutorConfig::auto(1).resolved_backend(),
+            DeliveryBackend::Sequential
+        );
+        assert_eq!(
+            ExecutorConfig::auto(4).resolved_backend(),
+            DeliveryBackend::Chunked
+        );
+        assert_eq!(ExecutorConfig::auto(4).backend, DeliveryBackend::Auto);
+    }
+
+    #[test]
+    fn chooser_tiers_follow_volume_and_density() {
+        let model = AutoCostModel::calibrated();
+        // Dense graph: density gate satisfied at the volume threshold.
+        let mut ch = BackendChooser::new(model, 1 << 12);
+        assert_eq!(ch.choose(0), DeliveryBackend::Sequential);
+        assert_eq!(ch.choose(4096), DeliveryBackend::Sequential);
+        assert_eq!(ch.choose(4097), DeliveryBackend::Chunked);
+        assert_eq!(
+            ch.choose(1 << 16),
+            DeliveryBackend::Sharded { shards: 2 },
+            "high volume on a dense graph promotes to sharded mailboxes"
+        );
+        // Sparse 2^20-node graph at ~3 messages/node: volume is huge but the
+        // density gate (4 per node) holds it on the chunked tier — the regime
+        // where BENCH_scale.json measured sharded losing to sequential.
+        let n = 1 << 20;
+        let mut sparse = BackendChooser::new(model, n);
+        assert_eq!(sparse.choose(3 * n as u64), DeliveryBackend::Chunked);
+        assert_eq!(
+            sparse.choose(4 * n as u64),
+            DeliveryBackend::Sharded { shards: 8 },
+            "shard count scales with n, clamped to max_shards"
+        );
+    }
+
+    #[test]
+    fn chooser_hysteresis_amortizes_dispatch() {
+        let model = AutoCostModel::calibrated();
+        let mut ch = BackendChooser::new(model, 1 << 12);
+        assert_eq!(ch.choose(10_000), DeliveryBackend::Chunked);
+        // A dip to just below the entry threshold stays chunked (hysteresis),
+        // so alternating 10k/4k rounds don't thrash backends.
+        assert_eq!(ch.choose(4_000), DeliveryBackend::Chunked);
+        assert_eq!(ch.choose(10_000), DeliveryBackend::Chunked);
+        // Falling below entry/hysteresis (4097 / 2) releases the tier.
+        assert_eq!(ch.choose(2_000), DeliveryBackend::Sequential);
+        // Same for the sharded tier: entry is 2^16, dip to 40k holds.
+        assert_eq!(ch.choose(1 << 16), DeliveryBackend::Sharded { shards: 2 });
+        assert_eq!(ch.choose(40_000), DeliveryBackend::Sharded { shards: 2 });
+        assert_eq!(ch.choose(20_000), DeliveryBackend::Chunked);
+    }
+
+    #[test]
+    fn chooser_is_thread_independent_by_construction() {
+        // The chooser never sees the thread count: identical volume sequences
+        // give identical decision sequences regardless of any cfg.
+        let volumes = [0u64, 100, 5_000, 70_000, 70_000, 3_000, 1_000, 0];
+        let run = |_threads: usize| {
+            let mut ch = BackendChooser::new(AutoCostModel::calibrated(), 4096);
+            volumes.iter().map(|&v| ch.choose(v)).collect::<Vec<_>>()
+        };
+        let base = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(run(t), base);
+        }
     }
 
     #[test]

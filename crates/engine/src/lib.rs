@@ -88,7 +88,10 @@ pub use bcongest::{
 };
 pub use congest::{run_congest, run_congest_observed, CongestAlgorithm, CongestRun};
 pub use error::EngineError;
-pub use exec::{DeliveryBackend, ExecutorConfig, ExecutorConfigBuilder, MessagePlane};
+pub use exec::{
+    AutoCostModel, BackendChooser, BackendDecision, DeliveryBackend, ExecutorConfig,
+    ExecutorConfigBuilder, MessagePlane,
+};
 pub use faults::{FaultEvent, FaultPlan, FaultResponse, SurvivorMask};
 pub use metrics::Metrics;
 pub use plane::{FlatPlane, RoundPlane};

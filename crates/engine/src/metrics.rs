@@ -1,5 +1,6 @@
 //! Round, message, broadcast and per-edge congestion accounting.
 
+use crate::exec::BackendDecision;
 use congest_graph::EdgeId;
 
 /// Complexity measures of one (partial) distributed execution.
@@ -14,7 +15,16 @@ use congest_graph::EdgeId;
 /// Metrics compose: [`Metrics::merge_sequential`] for operations that run one after the
 /// other, [`Metrics::merge_parallel`] for operations on disjoint edges that run at the
 /// same time (rounds take the max, messages add).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Equality (`PartialEq`) and the `Debug` rendering cover every *model-level*
+/// field — rounds, messages, broadcasts, payload bytes, dropped messages, and
+/// the full congestion vector — but **not** [`Metrics::backend_decisions`]:
+/// the decision log is an execution-level diagnostic of
+/// [`crate::DeliveryBackend::Auto`] runs, so an `Auto` run compares equal
+/// (and renders identically in canonical workload outputs) to the
+/// manual-backend runs it conforms to. The determinism suite compares
+/// decision logs explicitly through the accessor.
+#[derive(Clone)]
 pub struct Metrics {
     /// Number of synchronous rounds.
     pub rounds: u64,
@@ -40,6 +50,37 @@ pub struct Metrics {
     /// like every other field. Always 0 for fault-free runs.
     pub dropped_messages: u64,
     congestion: Vec<u64>,
+    backend_decisions: Vec<BackendDecision>,
+}
+
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        // `backend_decisions` is deliberately excluded — see the type docs.
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.broadcasts == other.broadcasts
+            && self.payload_bytes == other.payload_bytes
+            && self.dropped_messages == other.dropped_messages
+            && self.congestion == other.congestion
+    }
+}
+
+impl Eq for Metrics {}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `backend_decisions` is deliberately omitted — canonical workload
+        // outputs embed this rendering, and they must stay byte-identical
+        // between `Auto` and manual-backend runs (see the type docs).
+        f.debug_struct("Metrics")
+            .field("rounds", &self.rounds)
+            .field("messages", &self.messages)
+            .field("broadcasts", &self.broadcasts)
+            .field("payload_bytes", &self.payload_bytes)
+            .field("dropped_messages", &self.dropped_messages)
+            .field("congestion", &self.congestion)
+            .finish()
+    }
 }
 
 impl Metrics {
@@ -52,7 +93,21 @@ impl Metrics {
             payload_bytes: 0,
             dropped_messages: 0,
             congestion: vec![0; m],
+            backend_decisions: Vec::new(),
         }
+    }
+
+    /// The per-round [`crate::DeliveryBackend::Auto`] decision log: one entry
+    /// per executed round, in round order. Empty for manual-backend runs.
+    /// Excluded from `PartialEq` (see the type docs); the decision sequence is
+    /// itself deterministic — byte-identical across repeats and thread counts.
+    pub fn backend_decisions(&self) -> &[BackendDecision] {
+        &self.backend_decisions
+    }
+
+    /// Appends one `Auto` resolution to the decision log.
+    pub(crate) fn record_backend_decision(&mut self, decision: BackendDecision) {
+        self.backend_decisions.push(decision);
     }
 
     /// Records `words` messages crossing edge `e` (either direction), at the
@@ -130,6 +185,8 @@ impl Metrics {
         for (a, b) in self.congestion.iter_mut().zip(&other.congestion) {
             *a += b;
         }
+        self.backend_decisions
+            .extend_from_slice(&other.backend_decisions);
     }
 
     /// Composes with an operation that ran *concurrently* (on edges disjoint in time or
@@ -148,6 +205,8 @@ impl Metrics {
         for (a, b) in self.congestion.iter_mut().zip(&other.congestion) {
             *a += b;
         }
+        self.backend_decisions
+            .extend_from_slice(&other.backend_decisions);
     }
 
     /// Adds `r` rounds with no traffic (idle/padding rounds, e.g. `strict_phase_budget`).

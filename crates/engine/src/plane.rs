@@ -127,6 +127,9 @@ impl<M: WireDecode + Send + Sync> FlatPlane<M> {
                 }
                 debug_assert_eq!(lo, senders.len(), "every sender belongs to a shard");
             }
+            // `resolved_backend` maps `Auto` to a concrete backend (the
+            // runners resolve it per round before delivery).
+            DeliveryBackend::Auto => unreachable!("Auto resolves to a concrete backend"),
         }
     }
 

@@ -198,6 +198,9 @@ pub(crate) fn deliver_phase<S, M, F>(
             let plan = ShardPlan::new(inboxes.len(), shards);
             deliver_sharded(cfg, &plan, senders, expand, metrics, inboxes);
         }
+        // `resolved_backend` maps `Auto` to a concrete backend (the runners
+        // resolve it per round through a `BackendChooser` before calling in).
+        DeliveryBackend::Auto => unreachable!("Auto resolves to a concrete backend"),
     }
 }
 

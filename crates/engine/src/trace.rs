@@ -370,12 +370,13 @@ impl TraceLog {
 }
 
 /// Stable string form of a delivery backend (`"sequential"`, `"chunked"`,
-/// `"sharded:N"`); [`parse_backend`] is the inverse.
+/// `"sharded:N"`, `"auto"`); [`parse_backend`] is the inverse.
 pub fn backend_label(b: &DeliveryBackend) -> String {
     match b {
         DeliveryBackend::Sequential => "sequential".to_string(),
         DeliveryBackend::Chunked => "chunked".to_string(),
         DeliveryBackend::Sharded { shards } => format!("sharded:{shards}"),
+        DeliveryBackend::Auto => "auto".to_string(),
     }
 }
 
@@ -384,6 +385,7 @@ pub fn parse_backend(s: &str) -> Result<DeliveryBackend, String> {
     match s {
         "sequential" => Ok(DeliveryBackend::Sequential),
         "chunked" => Ok(DeliveryBackend::Chunked),
+        "auto" => Ok(DeliveryBackend::Auto),
         _ => match s.strip_prefix("sharded:") {
             Some(n) => n
                 .parse::<usize>()
@@ -903,6 +905,7 @@ mod tests {
             DeliveryBackend::Sequential,
             DeliveryBackend::Chunked,
             DeliveryBackend::Sharded { shards: 4 },
+            DeliveryBackend::Auto,
         ] {
             assert_eq!(parse_backend(&backend_label(&b)).unwrap(), b);
         }

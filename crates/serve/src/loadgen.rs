@@ -40,14 +40,23 @@ pub struct RampConfig {
 
 impl RampConfig {
     /// The step rates of this ramp, ascending, `target_rps` always last.
+    ///
+    /// Degenerate configurations are clamped rather than rejected: a
+    /// `target_rps` of 0 serves as 1 (a zero-rate step could never pace), and
+    /// an `initial_rps` above `target_rps` is clamped **down** to the target —
+    /// the ramp is defined as ascending, so an inverted pair means "just run
+    /// the target step", not "silently drop the configured initial rate"
+    /// (which is what the pre-clamp code did: the while loop never ran and
+    /// `initial_rps` vanished from the sweep without a trace).
     pub fn steps(&self) -> Vec<u64> {
+        let target = self.target_rps.max(1);
         let mut rates = Vec::new();
-        let mut r = self.initial_rps.max(1);
-        while r < self.target_rps {
+        let mut r = self.initial_rps.clamp(1, target);
+        while r < target {
             rates.push(r);
             r = r.saturating_add(self.increment_rps.max(1));
         }
-        rates.push(self.target_rps.max(1));
+        rates.push(target);
         rates
     }
 }
@@ -410,9 +419,12 @@ pub fn run_scenario<S: DistanceSource>(
     }
 }
 
-/// Requests one ramp step issues: `rate × duration`, at least 1.
+/// Requests one ramp step issues: `rate × duration` rounded half-up, at
+/// least 1. Truncating here biased achieved-rps low on short steps (3 rps ×
+/// 1500 ms issued 4 requests for a 4.5-request budget); rounding keeps the
+/// issued count within half a request of the schedule.
 fn step_requests(rate: u64, step_duration_ms: u64) -> u64 {
-    (rate.saturating_mul(step_duration_ms) / 1000).max(1)
+    (rate.saturating_mul(step_duration_ms).saturating_add(500) / 1000).max(1)
 }
 
 #[cfg(test)]
@@ -438,6 +450,62 @@ mod tests {
             step_duration_ms: 10,
         };
         assert_eq!(degenerate.steps(), vec![50]);
+    }
+
+    #[test]
+    fn inverted_ramp_clamps_initial_to_target() {
+        // initial > target: the ascending ramp collapses to the target step
+        // by the documented clamp — not by silently skipping the loop.
+        let inverted = RampConfig {
+            initial_rps: 500,
+            increment_rps: 100,
+            target_rps: 200,
+            step_duration_ms: 10,
+        };
+        assert_eq!(inverted.steps(), vec![200]);
+    }
+
+    #[test]
+    fn equal_initial_and_target_is_one_step() {
+        let flat = RampConfig {
+            initial_rps: 300,
+            increment_rps: 1,
+            target_rps: 300,
+            step_duration_ms: 10,
+        };
+        assert_eq!(flat.steps(), vec![300]);
+    }
+
+    #[test]
+    fn zero_target_serves_at_one_rps() {
+        let zero = RampConfig {
+            initial_rps: 0,
+            increment_rps: 0,
+            target_rps: 0,
+            step_duration_ms: 10,
+        };
+        assert_eq!(zero.steps(), vec![1]);
+        // A nonzero initial above the zero target clamps down too.
+        let zero_target = RampConfig {
+            initial_rps: 7,
+            increment_rps: 3,
+            target_rps: 0,
+            step_duration_ms: 10,
+        };
+        assert_eq!(zero_target.steps(), vec![1]);
+    }
+
+    #[test]
+    fn step_requests_round_half_up() {
+        // 3 rps × 1500 ms = 4.5 requests → 5, not the truncated 4.
+        assert_eq!(step_requests(3, 1500), 5);
+        // Exact products stay exact; below-half fractions round down.
+        assert_eq!(step_requests(100, 20), 2);
+        assert_eq!(step_requests(3, 1100), 3); // 3.3 → 3
+        assert_eq!(step_requests(1, 1500), 2); // 1.5 → 2 (half-up)
+                                               // Tiny steps still issue at least one request.
+        assert_eq!(step_requests(1, 1), 1);
+        assert_eq!(step_requests(0, 1000), 1);
     }
 
     #[test]

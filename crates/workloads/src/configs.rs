@@ -21,8 +21,9 @@ pub fn thread_matrix() -> Vec<(String, ExecutorConfig)> {
 
 /// The delivery-backend matrix of `tests/backend_conformance.rs`: every
 /// chunked thread count and every sharded shard count (with matching worker
-/// counts), plus a single-threaded sharded layout — all pinned against the
-/// sequential baseline.
+/// counts), plus a single-threaded sharded layout and the cost-model
+/// [`DeliveryBackend::Auto`] backend at every thread count — all pinned
+/// against the sequential baseline.
 pub fn backend_matrix() -> Vec<(String, ExecutorConfig)> {
     let mut cfgs = vec![(
         "sequential/explicit".to_string(),
@@ -37,6 +38,9 @@ pub fn backend_matrix() -> Vec<(String, ExecutorConfig)> {
             format!("sharded/{s}-1thread"),
             ExecutorConfig::with_threads(1).with_backend(DeliveryBackend::Sharded { shards: s }),
         ));
+    }
+    for t in [1usize, 2, 4, 8] {
+        cfgs.push((format!("auto/{t}"), ExecutorConfig::auto(t)));
     }
     cfgs
 }
@@ -80,10 +84,10 @@ pub fn shard_bench_matrix(shard_counts: &[usize]) -> Vec<(&'static str, usize, E
 }
 
 /// The wall-clock sweep of the registry bench (`BENCH_suite.json`): the
-/// sequential baseline, the chunked backend at hardware threads, and the
-/// sharded backend at 2/4/8 shards (one worker per shard). Narrower than
-/// [`backend_matrix`] — the bench measures layout/fan-out, the tests prove
-/// conformance.
+/// sequential baseline, the chunked backend at hardware threads, the sharded
+/// backend at 2/4/8 shards (one worker per shard), and the cost-model auto
+/// backend at hardware threads. Narrower than [`backend_matrix`] — the bench
+/// measures layout/fan-out, the tests prove conformance.
 pub fn bench_matrix() -> Vec<(String, ExecutorConfig)> {
     let mut cfgs = vec![
         ("sequential".to_string(), ExecutorConfig::sequential()),
@@ -92,6 +96,7 @@ pub fn bench_matrix() -> Vec<(String, ExecutorConfig)> {
     for s in [2usize, 4, 8] {
         cfgs.push((format!("sharded/{s}"), ExecutorConfig::sharded(s)));
     }
+    cfgs.push(("auto/hw".to_string(), ExecutorConfig::auto(0)));
     cfgs
 }
 
@@ -160,5 +165,26 @@ mod tests {
         assert!(m
             .iter()
             .any(|(_, c)| matches!(c.backend, DeliveryBackend::Sharded { .. })));
+        assert!(m.iter().any(|(_, c)| c.backend == DeliveryBackend::Auto));
+    }
+
+    #[test]
+    fn auto_cells_cover_every_thread_count() {
+        let m = backend_matrix();
+        for t in [1usize, 2, 4, 8] {
+            let (_, cfg) = m
+                .iter()
+                .find(|(l, _)| l == &format!("auto/{t}"))
+                .expect("auto cell");
+            assert_eq!(cfg.backend, DeliveryBackend::Auto);
+            assert_eq!(cfg.threads, t);
+        }
+        let bench = bench_matrix();
+        let (_, auto_hw) = bench
+            .iter()
+            .find(|(l, _)| l == "auto/hw")
+            .expect("auto bench cell");
+        assert_eq!(auto_hw.backend, DeliveryBackend::Auto);
+        assert_eq!(auto_hw.threads, 0, "bench auto runs at hardware threads");
     }
 }

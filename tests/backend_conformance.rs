@@ -11,9 +11,13 @@
 //!
 //! Registering a workload (see `congest_workloads::registry`) is what enrols
 //! it here — this suite has no workload list of its own, so it can never drift
-//! from `tests/parallel_determinism.rs` or the benches.
+//! from `tests/parallel_determinism.rs` or the benches. The cost-model
+//! `Auto` backend is part of the matrix (at 1/2/4/8 threads) and additionally
+//! pinned explicitly: its outcome must match every manual backend and its
+//! per-round decision log must name only concrete backends, identically
+//! across message planes.
 
-use congest_apsp::engine::ExecutorConfig;
+use congest_apsp::engine::{DeliveryBackend, ExecutorConfig, MessagePlane};
 use congest_apsp::workloads::{configs::backend_matrix, find, registry};
 
 #[test]
@@ -33,6 +37,70 @@ fn registry_identical_across_backends() {
             assert_eq!(base.metrics, run.metrics, "{}: metrics @ {label}", w.name());
         }
     }
+}
+
+/// The cost-model [`DeliveryBackend::Auto`] backend, pinned directly against
+/// every manual backend on every registry entry: outputs **and** `Metrics`
+/// byte-equal (the per-round decision log is excluded from `Metrics` equality
+/// by construction, and compared explicitly here instead). The log must name
+/// only concrete backends and be identical across message planes — volume
+/// hints are plane-independent.
+#[test]
+fn auto_matches_every_manual_backend_and_logs_concrete_decisions() {
+    let manual: Vec<(String, ExecutorConfig)> = vec![
+        ("sequential".into(), ExecutorConfig::sequential()),
+        ("chunked/4".into(), ExecutorConfig::with_threads(4)),
+        ("sharded/4".into(), ExecutorConfig::sharded(4)),
+    ];
+    // Treeops-based entries (the MST family) bypass the round-loop runners
+    // and log nothing; most of the registry must log.
+    let mut logged = 0usize;
+    for w in registry() {
+        let input = w.build();
+        let auto = w
+            .run_built(&input, &ExecutorConfig::auto(4))
+            .unwrap_or_else(|e| panic!("{}: auto run failed: {e}", w.name()));
+        for (label, cfg) in &manual {
+            let run = w
+                .run_built(&input, cfg)
+                .unwrap_or_else(|e| panic!("{}: run under {label} failed: {e}", w.name()));
+            assert_eq!(auto.output, run.output, "{}: outputs @ {label}", w.name());
+            assert_eq!(auto.metrics, run.metrics, "{}: metrics @ {label}", w.name());
+            assert!(
+                run.metrics.backend_decisions().is_empty(),
+                "{}: manual backend {label} must not log decisions",
+                w.name()
+            );
+        }
+        let log = auto.metrics.backend_decisions();
+        if !log.is_empty() {
+            logged += 1;
+        }
+        for d in log {
+            assert_ne!(
+                d.backend,
+                DeliveryBackend::Auto,
+                "{}: decision log must name a concrete backend",
+                w.name()
+            );
+        }
+        let flat = w
+            .run_built(
+                &input,
+                &ExecutorConfig::auto(4).with_plane(MessagePlane::Flat),
+            )
+            .unwrap_or_else(|e| panic!("{}: auto flat run failed: {e}", w.name()));
+        assert_eq!(
+            log,
+            flat.metrics.backend_decisions(),
+            "{}: decision log differs across message planes",
+            w.name()
+        );
+    }
+    assert!(
+        logged > 0,
+        "no registry entry logged auto decisions — runner wiring broken"
+    );
 }
 
 /// The fast tripwire CI's clippy job runs by name: one BCONGEST and one MST

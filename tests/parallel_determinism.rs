@@ -16,6 +16,53 @@ use congest_apsp::engine::{run_bcongest, ExecutorConfig, RunOptions};
 use congest_apsp::graph::{generators, NodeId};
 use congest_apsp::workloads::{configs::thread_matrix, registry};
 
+/// The [`DeliveryBackend::Auto`](congest_apsp::engine::DeliveryBackend::Auto)
+/// decision log is a pure function of per-round message volume — never of the
+/// thread count — so the sequence recorded in
+/// [`Metrics::backend_decisions`](congest_apsp::engine::Metrics::backend_decisions)
+/// must be byte-identical across repeats **and** across every executor thread
+/// count, on every registry entry.
+#[test]
+fn auto_decision_log_identical_across_repeats_and_threads() {
+    // Workloads that execute through the round-loop runners log decisions;
+    // treeops-based entries (the MST family) use the volume-blind fallback
+    // and log nothing — the registry must contain plenty of the former.
+    let mut logged = 0usize;
+    for w in registry() {
+        let input = w.build();
+        let run_at = |threads: usize| {
+            w.run_built(&input, &ExecutorConfig::auto(threads))
+                .unwrap_or_else(|e| panic!("{}: auto @ {threads} threads failed: {e}", w.name()))
+                .metrics
+        };
+        let base = run_at(1);
+        let log = base.backend_decisions();
+        if !log.is_empty() {
+            logged += 1;
+        }
+        let repeat = run_at(1);
+        assert_eq!(
+            log,
+            repeat.backend_decisions(),
+            "{}: decision log differs across repeats",
+            w.name()
+        );
+        for threads in [2usize, 4, 8] {
+            let alt = run_at(threads);
+            assert_eq!(
+                log,
+                alt.backend_decisions(),
+                "{}: decision log differs at {threads} threads",
+                w.name()
+            );
+        }
+    }
+    assert!(
+        logged > 0,
+        "no registry entry logged auto decisions — runner wiring broken"
+    );
+}
+
 #[test]
 fn registry_identical_across_thread_counts() {
     let configs = thread_matrix();
